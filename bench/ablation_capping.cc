@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation: power capping under fragmented vs workload-aware placement.
+ *
+ * Section 1 of the paper argues that capping solutions are crippled by
+ * fragmentation: leaf nodes packed with synchronous LC instances blow
+ * their budgets and must cap latency-critical work even while sibling
+ * nodes idle.  Here both placements face identical RPP budgets (sized so
+ * the workload-aware placement just fits) and a batch-first capper; the
+ * oblivious placement should need far more curtailment, and crucially
+ * should be the only one forced to touch LC power.
+ */
+
+#include <iostream>
+
+#include "baseline/oblivious.h"
+#include "core/placement.h"
+#include "sim/capping.h"
+#include "util/table.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+int
+main()
+{
+    using namespace sosim;
+
+    std::cout << "=== Ablation: capping burden, oblivious vs "
+                 "workload-aware placement ===\n\n";
+
+    util::Table table({"DC", "placement", "overload samples",
+                       "batch curtailed", "storage curtailed",
+                       "LC curtailed", "unresolved"});
+
+    for (const auto &spec : workload::buildAllDcSpecs()) {
+        const auto dc = workload::generate(spec);
+        const auto training = dc.trainingTraces();
+        const auto test = dc.testTraces();
+        std::vector<std::size_t> service_of(dc.instanceCount());
+        std::vector<sim::CapClass> classes(dc.instanceCount());
+        for (std::size_t i = 0; i < dc.instanceCount(); ++i) {
+            service_of[i] = dc.serviceOf(i);
+            switch (dc.serviceProfile(service_of[i]).klass) {
+              case workload::ServiceClass::Batch:
+                classes[i] = sim::CapClass::Batch;
+                break;
+              case workload::ServiceClass::Storage:
+                classes[i] = sim::CapClass::Storage;
+                break;
+              default:
+                classes[i] = sim::CapClass::LatencyCritical;
+            }
+        }
+
+        power::PowerTree tree(spec.topology);
+        const auto oblivious =
+            baseline::obliviousPlacement(tree, service_of);
+        core::PlacementEngine engine(tree, {});
+        const auto smooth = engine.place(training, service_of);
+
+        // Budgets: the workload-aware placement's per-RPP training peak
+        // plus a 2% margin — the tightest budget it fits under.
+        const auto smooth_traces = tree.aggregateTraces(training, smooth);
+        std::vector<double> budgets(tree.nodeCount(), 0.0);
+        for (const auto rpp : tree.nodesAtLevel(power::Level::Rpp))
+            budgets[rpp] = smooth_traces[rpp].peak() * 1.02;
+
+        for (const auto &[name, assignment] :
+             {std::pair<const char *, const power::Assignment &>{
+                  "oblivious", oblivious},
+              {"workload-aware", smooth}}) {
+            const auto report = sim::evaluateCapping(
+                tree, test, assignment, classes, budgets,
+                power::Level::Rpp);
+            table.addRow({
+                spec.name,
+                name,
+                std::to_string(report.overloadSamples),
+                util::fmtFixed(report.batchCurtailed, 0),
+                util::fmtFixed(report.storageCurtailed, 0),
+                util::fmtFixed(report.lcCurtailed, 0),
+                std::to_string(report.unresolvedSamples),
+            });
+        }
+    }
+
+    table.print(std::cout);
+    std::cout << "\nShape to observe: under identical budgets the "
+                 "oblivious placement overloads\nits RPPs and must "
+                 "curtail LC work; the workload-aware placement fits "
+                 "with\nlittle or no curtailment (the paper's section-1 "
+                 "argument for why capping\nalone cannot recover "
+                 "fragmented budgets).\n";
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation: energy storage (distributed UPS) vs workload-aware placement.
+ *
+ * Sections 1 and 6: battery-based approaches "can only handle peaks that
+ * span at most tens of minutes, making it unsuitable for Facebook type
+ * of workloads whose peak may last for hours".  Two experiments:
+ *
+ *   1. Peak-duration sweep on a synthetic square peak: the bank covers
+ *      short peaks and fails as the duration grows past its capacity.
+ *   2. The real datacenter: RPP budgets sized to the workload-aware
+ *      placement; under the oblivious placement, count how many RPPs a
+ *      battery bank of growing capacity can keep alive through the
+ *      diurnal (hours-long) peaks — versus SmoothOperator, which needs
+ *      no storage at all.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "baseline/oblivious.h"
+#include "core/placement.h"
+#include "sim/esd.h"
+#include "util/table.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+int
+main()
+{
+    using namespace sosim;
+
+    std::cout << "=== Ablation: energy storage vs placement ===\n\n";
+
+    // --- 1. Peak-duration sweep ---------------------------------------
+    std::cout << "1. Square peak of +0.5 overage, bank sized for 30 "
+                 "power-minutes:\n";
+    util::Table sweep({"peak duration (min)", "survived",
+                       "failed samples", "min state of charge"});
+    for (const int duration : {10, 30, 60, 120, 240, 480}) {
+        std::vector<double> samples(720, 0.8);
+        for (int t = 0; t < duration && 120 + t < 720; ++t)
+            samples[static_cast<std::size_t>(120 + t)] = 1.5;
+        trace::TimeSeries node(samples, 1);
+        sim::BatteryConfig bank;
+        bank.capacityPowerMinutes = 30.0;
+        const auto outcome = sim::evaluateEsd(node, 1.0, bank);
+        sweep.addRow({
+            std::to_string(duration),
+            outcome.survived ? "yes" : "no",
+            std::to_string(outcome.failedSamples),
+            util::fmtPercent(outcome.minStateOfCharge),
+        });
+    }
+    sweep.print(std::cout);
+
+    // --- 2. Diurnal peaks in DC3 ---------------------------------------
+    std::cout << "\n2. DC3, RPP budgets sized to the workload-aware "
+                 "placement (+2%):\n";
+    const auto spec = workload::buildDc3Spec();
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    const auto test = dc.testTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    power::PowerTree tree(spec.topology);
+    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
+    core::PlacementEngine engine(tree, {});
+    const auto smooth = engine.place(training, service_of);
+
+    const auto smooth_train = tree.aggregateTraces(training, smooth);
+    const auto obl_test = tree.aggregateTraces(test, oblivious);
+    const auto smooth_test = tree.aggregateTraces(test, smooth);
+    const auto &rpps = tree.nodesAtLevel(power::Level::Rpp);
+
+    util::Table dc_table({"bank size (power-min per RPP)",
+                          "oblivious RPPs surviving",
+                          "smooth RPPs surviving"});
+    for (const double capacity : {15.0, 60.0, 240.0, 960.0}) {
+        std::size_t obl_ok = 0, smooth_ok = 0;
+        for (const auto rpp : rpps) {
+            const double budget = smooth_train[rpp].peak() * 1.02;
+            sim::BatteryConfig bank;
+            bank.capacityPowerMinutes = capacity;
+            bank.maxDischargeRate = budget; // Rate is not the binding limit.
+            bank.maxChargeRate = budget * 0.1;
+            if (sim::evaluateEsd(obl_test[rpp], budget, bank).survived)
+                ++obl_ok;
+            if (sim::evaluateEsd(smooth_test[rpp], budget, bank).survived)
+                ++smooth_ok;
+        }
+        dc_table.addRow({
+            util::fmtFixed(capacity, 0),
+            std::to_string(obl_ok) + " / " + std::to_string(rpps.size()),
+            std::to_string(smooth_ok) + " / " +
+                std::to_string(rpps.size()),
+        });
+    }
+    dc_table.print(std::cout);
+
+    std::cout << "\nShape to observe: banks sized for tens of minutes "
+                 "cannot carry the oblivious\nplacement through "
+                 "hours-long diurnal peaks, while the workload-aware\n"
+                 "placement fits the same budgets with (almost) no "
+                 "storage at all.\n";
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation: proactive planning under secular traffic growth.
+ *
+ * The paper trains placement on the plain average of past weeks
+ * (Eq. 4).  Under week-over-week load growth the averaged profile
+ * understates next week's power, so nodes provisioned from it run
+ * hotter than planned.  This bench grows DC3's traffic 4%/week, derives
+ * placements and RPP budgets from three training signals — plain
+ * average, seasonal naive (last week), and trend-adjusted forecast —
+ * and evaluates all on the following week: forecast quality (MAPE),
+ * budget shortfall, and breaker overload minutes.
+ */
+
+#include <iostream>
+
+#include "baseline/oblivious.h"
+#include "core/placement.h"
+#include "power/breaker.h"
+#include "trace/forecast.h"
+#include "util/table.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+int
+main()
+{
+    using namespace sosim;
+
+    std::cout << "=== Ablation: planning signal under +4%/week traffic "
+                 "growth (DC3) ===\n\n";
+
+    workload::PresetOptions options;
+    options.scale = 0.5;
+    options.weeks = 4;
+    auto spec = workload::buildDc3Spec(options);
+    spec.weeklyGrowth = 0.04;
+    const auto dc = workload::generate(spec);
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+
+    // History: weeks 0-2.  Future: week 3.
+    std::vector<std::vector<trace::TimeSeries>> history(
+        dc.instanceCount());
+    std::vector<trace::TimeSeries> actual;
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i) {
+        for (int w = 0; w < 3; ++w)
+            history[i].push_back(dc.weekTrace(i, w));
+        actual.push_back(dc.weekTrace(i, 3));
+    }
+
+    struct Signal {
+        const char *name;
+        std::vector<trace::TimeSeries> traces;
+    };
+    std::vector<Signal> signals;
+    {
+        Signal avg{"plain average (Eq. 4)", {}};
+        Signal naive{"seasonal naive (last week)", {}};
+        Signal trend{"trend-adjusted forecast", {}};
+        for (std::size_t i = 0; i < dc.instanceCount(); ++i) {
+            avg.traces.push_back(trace::averageWeeks(history[i]));
+            naive.traces.push_back(
+                trace::seasonalNaiveForecast(history[i]));
+            trend.traces.push_back(
+                trace::trendAdjustedForecast(history[i], 0.4));
+        }
+        signals.push_back(std::move(avg));
+        signals.push_back(std::move(naive));
+        signals.push_back(std::move(trend));
+    }
+
+    power::PowerTree tree(spec.topology);
+    util::Table table({"planning signal", "MAPE vs actual",
+                       "RPP budget shortfall", "overload minutes",
+                       "tripped RPPs"});
+    for (const auto &signal : signals) {
+        // Forecast accuracy.
+        double total_mape = 0.0;
+        for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+            total_mape += trace::mape(actual[i], signal.traces[i]);
+        total_mape /= static_cast<double>(dc.instanceCount());
+
+        // Place and provision RPP budgets from the signal (+3% margin).
+        core::PlacementEngine engine(tree, {});
+        const auto placement = engine.place(signal.traces, service_of);
+        const auto planned =
+            tree.aggregateTraces(signal.traces, placement);
+        const auto observed = tree.aggregateTraces(actual, placement);
+
+        double shortfall = 0.0;
+        std::size_t overload_minutes = 0, trips = 0;
+        for (const auto rpp : tree.nodesAtLevel(power::Level::Rpp)) {
+            const double budget = planned[rpp].peak() * 1.03;
+            if (budget <= 0.0)
+                continue;
+            shortfall +=
+                std::max(0.0, observed[rpp].peak() - budget);
+            power::BreakerModel breaker(budget, 10);
+            overload_minutes +=
+                breaker.overloadSamples(observed[rpp]) *
+                static_cast<std::size_t>(spec.intervalMinutes);
+            trips += breaker.wouldTrip(observed[rpp]);
+        }
+        table.addRow({
+            signal.name,
+            util::fmtPercent(total_mape),
+            util::fmtFixed(shortfall, 2),
+            std::to_string(overload_minutes),
+            std::to_string(trips),
+        });
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape to observe: under secular growth the plain "
+                 "average understates next\nweek's power and its "
+                 "budgets run hot; the trend-adjusted forecast plans\n"
+                 "budgets that the actual week fits (Table 1's "
+                 "'proactive planning').\n";
+    return 0;
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Ablation study of the placement framework's design choices
+ * (DESIGN.md section 5):
+ *
+ *   1. cluster granularity h = q * clustersPerChild,
+ *   2. equal-size cluster balancing on/off,
+ *   3. number of S-trace basis services |B|,
+ *   4. training window (1 vs 2 weeks averaged),
+ *   5. trace resolution (5- vs 15- vs 60-minute sampling),
+ *   6. random vs oblivious vs workload-aware placement,
+ *   7. remapping swaps on top of each starting placement.
+ *
+ * All variants report RPP-level peak reduction vs the oblivious
+ * baseline, evaluated on the held-out test week of DC3.
+ */
+
+#include <iostream>
+
+#include "baseline/oblivious.h"
+#include "core/headroom.h"
+#include "core/placement.h"
+#include "core/remap.h"
+#include "util/table.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim;
+
+double
+rppReduction(const power::PowerTree &tree,
+             const std::vector<trace::TimeSeries> &test,
+             const power::Assignment &baseline_assignment,
+             const power::Assignment &assignment)
+{
+    return core::comparePlacements(tree, test, baseline_assignment,
+                                   assignment)
+        .at(power::Level::Rpp)
+        .peakReductionFraction;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sosim;
+
+    std::cout << "=== Ablation: placement design choices (DC3, RPP "
+                 "reduction vs oblivious) ===\n\n";
+
+    workload::PresetOptions options;
+    options.scale = 0.5; // Half scale keeps the sweep fast.
+    const auto spec = workload::buildDc3Spec(options);
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    const auto test = dc.testTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    power::PowerTree tree(spec.topology);
+    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
+
+    util::Table table({"variant", "RPP peak reduction"});
+
+    // 1 & 2: clustering granularity and balancing.
+    for (const std::size_t cpc : {1u, 2u, 4u}) {
+        for (const bool balance : {true, false}) {
+            core::PlacementConfig config;
+            config.clustersPerChild = cpc;
+            config.balanceClusters = balance;
+            core::PlacementEngine engine(tree, config);
+            const auto placement = engine.place(training, service_of);
+            table.addRow({
+                "clustersPerChild=" + std::to_string(cpc) +
+                    (balance ? ", balanced" : ", unbalanced"),
+                util::fmtPercent(
+                    rppReduction(tree, test, oblivious, placement)),
+            });
+        }
+    }
+
+    // 3: S-trace basis size |B|.
+    for (const std::size_t top : {2u, 5u, 10u}) {
+        core::PlacementConfig config;
+        config.topServices = top;
+        core::PlacementEngine engine(tree, config);
+        const auto placement = engine.place(training, service_of);
+        table.addRow({
+            "topServices=" + std::to_string(top),
+            util::fmtPercent(
+                rppReduction(tree, test, oblivious, placement)),
+        });
+    }
+
+    // 4: training window — single week vs averaged weeks (Eq. 4).
+    {
+        std::vector<trace::TimeSeries> one_week;
+        for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+            one_week.push_back(dc.weekTrace(i, 0));
+        core::PlacementEngine engine(tree, {});
+        const auto placement = engine.place(one_week, service_of);
+        table.addRow({
+            "train on week 1 only (no averaging)",
+            util::fmtPercent(
+                rppReduction(tree, test, oblivious, placement)),
+        });
+    }
+
+    // 5: trace resolution.
+    for (const int resample : {15, 60}) {
+        std::vector<trace::TimeSeries> coarse;
+        for (const auto &t : training)
+            coarse.push_back(t.resample(resample));
+        core::PlacementEngine engine(tree, {});
+        const auto placement = engine.place(coarse, service_of);
+        table.addRow({
+            "training traces resampled to " + std::to_string(resample) +
+                " min",
+            util::fmtPercent(
+                rppReduction(tree, test, oblivious, placement)),
+        });
+    }
+
+    // 6: placement strategies head to head.
+    {
+        const auto random =
+            baseline::randomPlacement(tree, dc.instanceCount(), 11);
+        table.addRow({
+            "random placement",
+            util::fmtPercent(rppReduction(tree, test, oblivious, random)),
+        });
+        core::PlacementEngine engine(tree, {});
+        auto smooth = engine.place(training, service_of);
+        table.addRow({
+            "workload-aware placement (default)",
+            util::fmtPercent(rppReduction(tree, test, oblivious, smooth)),
+        });
+
+        // 7: remapping swaps on top.
+        core::RemapConfig rc;
+        rc.maxSwaps = 32;
+        core::Remapper remapper(tree, rc);
+        auto random_remapped = random;
+        remapper.refine(random_remapped, training);
+        table.addRow({
+            "random + 32 remap swaps",
+            util::fmtPercent(
+                rppReduction(tree, test, oblivious, random_remapped)),
+        });
+        auto smooth_remapped = smooth;
+        remapper.refine(smooth_remapped, training);
+        table.addRow({
+            "workload-aware + 32 remap swaps",
+            util::fmtPercent(
+                rppReduction(tree, test, oblivious, smooth_remapped)),
+        });
+    }
+
+    table.print(std::cout);
+    return 0;
+}

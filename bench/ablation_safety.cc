@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Ablation: power safety under bursty traffic (section 3.2).
+ *
+ * "When bursty traffic arrives, the sudden load change is now shared
+ * among all the power nodes.  Such load sharing leads to a lower
+ * probability of high peaks aggregated at a small subset of power
+ * nodes, and therefore decreases the likelihood of tripping the circuit
+ * breakers."
+ *
+ * Experiment: both placements get identical RPP budgets (the oblivious
+ * placement's per-node peak — i.e., each placement's status quo is
+ * safe).  A traffic surge then multiplies the LC tier's power for two
+ * hours.  Count tripped breakers: under the oblivious placement the
+ * surge lands concentrated on the LC-heavy RPPs; under the
+ * workload-aware placement it spreads across all of them.
+ */
+
+#include <iostream>
+
+#include "baseline/oblivious.h"
+#include "core/placement.h"
+#include "power/breaker.h"
+#include "util/table.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim;
+
+/** Multiply LC instances' power for a window of the trace. */
+std::vector<trace::TimeSeries>
+injectSurge(const workload::GeneratedDatacenter &dc,
+            const std::vector<trace::TimeSeries> &traces, double factor,
+            std::size_t start, std::size_t len)
+{
+    auto surged = traces;
+    for (const auto i :
+         dc.instancesOfClass(workload::ServiceClass::LatencyCritical)) {
+        auto &t = surged[i];
+        for (std::size_t k = start; k < std::min(start + len, t.size());
+             ++k)
+            t[k] = std::min(t[k] * factor, 1.1);
+    }
+    return surged;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sosim;
+
+    std::cout << "=== Ablation: breaker trips under an LC traffic surge "
+                 "===\n\n";
+
+    util::Table table({"DC", "surge", "oblivious trips",
+                       "workload-aware trips", "RPPs"});
+
+    for (const auto &spec : workload::buildAllDcSpecs()) {
+        const auto dc = workload::generate(spec);
+        const auto training = dc.trainingTraces();
+        const auto test = dc.testTraces();
+        std::vector<std::size_t> service_of(dc.instanceCount());
+        for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+            service_of[i] = dc.serviceOf(i);
+
+        power::PowerTree tree(spec.topology);
+        const auto oblivious =
+            baseline::obliviousPlacement(tree, service_of);
+        core::PlacementEngine engine(tree, {});
+        const auto smooth = engine.place(training, service_of);
+
+        // Per-placement budgets: each node's own training peak + 8%,
+        // so both datacenters are equally "safe" before the surge.
+        const auto obl_train = tree.aggregateTraces(training, oblivious);
+        const auto smooth_train = tree.aggregateTraces(training, smooth);
+        const auto &rpps = tree.nodesAtLevel(power::Level::Rpp);
+
+        // Surge: 2 hours starting Wednesday 13:00 on the LC tier.
+        const std::size_t per_hour = static_cast<std::size_t>(
+            60 / spec.intervalMinutes);
+        const std::size_t start = (2 * 24 + 13) * per_hour;
+        const std::size_t len = 2 * per_hour;
+
+        for (const double factor : {1.15, 1.30}) {
+            const auto surged =
+                injectSurge(dc, test, factor, start, len);
+            const auto obl_traces =
+                tree.aggregateTraces(surged, oblivious);
+            const auto smooth_traces =
+                tree.aggregateTraces(surged, smooth);
+            std::size_t obl_trips = 0, smooth_trips = 0;
+            for (const auto rpp : rpps) {
+                // Breakers tolerate 10 minutes of sustained overload.
+                if (obl_train[rpp].peak() > 0.0) {
+                    power::BreakerModel breaker(
+                        obl_train[rpp].peak() * 1.08, 10);
+                    obl_trips += breaker.wouldTrip(obl_traces[rpp]);
+                }
+                if (smooth_train[rpp].peak() > 0.0) {
+                    power::BreakerModel breaker(
+                        smooth_train[rpp].peak() * 1.08, 10);
+                    smooth_trips +=
+                        breaker.wouldTrip(smooth_traces[rpp]);
+                }
+            }
+            table.addRow({
+                spec.name,
+                "+" + util::fmtPercent(factor - 1.0, 0),
+                std::to_string(obl_trips),
+                std::to_string(smooth_trips),
+                std::to_string(rpps.size()),
+            });
+        }
+    }
+
+    table.print(std::cout);
+    std::cout << "\nShape to observe: with budgets giving both "
+                 "placements the same pre-surge\nmargin, the surge "
+                 "trips far fewer breakers under the workload-aware\n"
+                 "placement, because every RPP shares the LC swing "
+                 "instead of a few\nLC-only RPPs absorbing all of it "
+                 "(the paper's power-safety argument).\n";
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Figure 8: service instances of one suite embedded in the
+ * |B|-dimensional asynchrony-score space, k-means clustered, and
+ * projected to 2-D with t-SNE.
+ *
+ * Shape to reproduce: clusters are coherent — instances of a cluster sit
+ * together in the projection, and cluster composition correlates with
+ * service phase classes (day-peaking vs night-peaking vs flat).  The
+ * bench prints cluster compositions and projection statistics.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "cluster/kmeans.h"
+#include "cluster/tsne.h"
+#include "core/asynchrony.h"
+#include "core/service_traces.h"
+#include "util/table.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+int
+main()
+{
+    using namespace sosim;
+
+    std::cout << "=== Figure 8: k-means in asynchrony-score space "
+                 "+ t-SNE projection ===\n\n";
+
+    // One suite of DC1 (as in the paper): a quarter of the instances.
+    workload::PresetOptions options;
+    options.scale = 0.25;
+    const auto spec = workload::buildDc1Spec(options);
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+
+    const auto straces = core::extractServiceTraces(
+        training, service_of, 10);
+    const auto vectors = core::scoreVectors(training, straces.straces);
+    std::cout << "embedded " << vectors.size() << " instances into a "
+              << straces.straces.size() << "-dimensional score space\n";
+
+    cluster::KMeansConfig kc;
+    kc.k = 8;
+    const auto clustering = cluster::kMeans(vectors, kc);
+    std::cout << "k-means: k=8, inertia "
+              << util::fmtFixed(clustering.inertia, 4) << ", "
+              << clustering.iterations << " iterations\n\n";
+
+    // Cluster composition by service.
+    util::Table comp({"cluster", "size", "dominant service", "purity"});
+    for (std::size_t c = 0; c < kc.k; ++c) {
+        std::map<std::size_t, std::size_t> by_service;
+        std::size_t size = 0;
+        for (std::size_t i = 0; i < vectors.size(); ++i) {
+            if (clustering.assignment[i] != c)
+                continue;
+            ++by_service[service_of[i]];
+            ++size;
+        }
+        std::size_t best_service = 0, best_count = 0;
+        for (const auto &[s, count] : by_service)
+            if (count > best_count) {
+                best_count = count;
+                best_service = s;
+            }
+        comp.addRow({
+            std::to_string(c),
+            std::to_string(size),
+            size ? dc.serviceProfile(best_service).name : "-",
+            size ? util::fmtPercent(
+                       static_cast<double>(best_count) / size)
+                 : "-",
+        });
+    }
+    comp.print(std::cout);
+
+    // Project a sample with t-SNE (exact t-SNE is O(n^2); sample 256).
+    std::vector<cluster::Point> sample;
+    std::vector<std::size_t> sample_cluster;
+    for (std::size_t i = 0; i < vectors.size() && sample.size() < 256;
+         i += std::max<std::size_t>(1, vectors.size() / 256)) {
+        sample.push_back(vectors[i]);
+        sample_cluster.push_back(clustering.assignment[i]);
+    }
+    cluster::TsneConfig tc;
+    tc.iterations = 250;
+    const auto projected = cluster::tsne(sample, tc);
+
+    // Quality measure: mean intra-cluster vs inter-cluster distance in
+    // the projection (coherent clusters -> ratio well below 1).
+    double intra = 0.0, inter = 0.0;
+    std::size_t intra_n = 0, inter_n = 0;
+    for (std::size_t i = 0; i < sample.size(); ++i)
+        for (std::size_t j = i + 1; j < sample.size(); ++j) {
+            const double d = std::sqrt(
+                cluster::squaredDistance(projected[i], projected[j]));
+            if (sample_cluster[i] == sample_cluster[j]) {
+                intra += d;
+                ++intra_n;
+            } else {
+                inter += d;
+                ++inter_n;
+            }
+        }
+    intra /= std::max<std::size_t>(1, intra_n);
+    inter /= std::max<std::size_t>(1, inter_n);
+
+    std::cout << "\nt-SNE projection of " << sample.size()
+              << " sampled instances:\n"
+              << "  mean intra-cluster distance "
+              << util::fmtFixed(intra, 2) << "\n"
+              << "  mean inter-cluster distance "
+              << util::fmtFixed(inter, 2) << "\n"
+              << "  intra/inter ratio " << util::fmtFixed(intra / inter, 2)
+              << " (clusters are coherent when well below 1.0)\n";
+    return 0;
+}

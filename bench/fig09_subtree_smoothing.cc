@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Figure 9: power traces of a mid-level power node N's children before
+ * and after applying workload-aware placement to N's subtree only.
+ *
+ * Shape to reproduce: the parent trace is unchanged (no instance enters
+ * or leaves the subtree); the children traces become smoother and more
+ * balanced, and each child's peak drops.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "baseline/oblivious.h"
+#include "core/placement.h"
+#include "util/table.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+int
+main()
+{
+    using namespace sosim;
+
+    std::cout << "=== Figure 9: subtree smoothing at a mid-level node "
+                 "===\n\n";
+
+    const auto spec = workload::buildDc3Spec();
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    const auto test = dc.testTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+
+    power::PowerTree tree(spec.topology);
+    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
+
+    // N: the most fragmented SB node — the one whose children's peaks
+    // overshoot its own aggregate peak the most (lowest node-level
+    // asynchrony), mirroring how the paper picks a problematic subtree.
+    const auto pre = tree.aggregateTraces(training, oblivious);
+    power::NodeId n = power::kNoNode;
+    double worst_ratio = 0.0;
+    for (const auto sb : tree.nodesAtLevel(power::Level::Sb)) {
+        if (pre[sb].peak() <= 0.0)
+            continue;
+        double child_peaks = 0.0;
+        for (const auto child : tree.node(sb).children)
+            child_peaks += pre[child].peak();
+        const double ratio = child_peaks / pre[sb].peak();
+        if (ratio > worst_ratio) {
+            worst_ratio = ratio;
+            n = sb;
+        }
+    }
+    auto optimized = oblivious;
+    core::PlacementEngine engine(tree, {});
+    engine.placeSubtree(training, service_of, optimized, n);
+
+    const auto before = tree.aggregateTraces(test, oblivious);
+    const auto after = tree.aggregateTraces(test, optimized);
+    const auto &children = tree.node(n).children;
+
+    std::cout << "node N = " << tree.node(n).name << " with "
+              << children.size() << " children (RPPs)\n\n";
+
+    // Parent invariance.
+    double max_parent_delta = 0.0;
+    for (std::size_t t = 0; t < before[n].size(); ++t)
+        max_parent_delta = std::max(
+            max_parent_delta, std::abs(before[n][t] - after[n][t]));
+    std::cout << "parent trace max |before - after| = "
+              << util::fmtFixed(max_parent_delta, 9)
+              << " (unchanged, as in the paper)\n\n";
+
+    util::Table table({"child", "peak before", "peak after",
+                       "peak reduction", "stddev before",
+                       "stddev after"});
+    auto stddev = [](const trace::TimeSeries &ts) {
+        const double m = ts.mean();
+        double acc = 0.0;
+        for (std::size_t t = 0; t < ts.size(); ++t)
+            acc += (ts[t] - m) * (ts[t] - m);
+        return std::sqrt(acc / static_cast<double>(ts.size()));
+    };
+    for (const auto child : children) {
+        table.addRow({
+            tree.node(child).name,
+            util::fmtFixed(before[child].peak(), 2),
+            util::fmtFixed(after[child].peak(), 2),
+            util::fmtPercent(1.0 - after[child].peak() /
+                                        before[child].peak()),
+            util::fmtFixed(stddev(before[child]), 3),
+            util::fmtFixed(stddev(after[child]), 3),
+        });
+    }
+    table.print(std::cout);
+
+    // Print a day of hourly child traces, before/after, for plotting.
+    std::cout << "\nWednesday hourly child traces (before | after):\n";
+    std::vector<std::string> header{"hour"};
+    for (std::size_t c = 0; c < children.size(); ++c)
+        header.push_back("b.child" + std::to_string(c));
+    for (std::size_t c = 0; c < children.size(); ++c)
+        header.push_back("a.child" + std::to_string(c));
+    util::Table series(header);
+    const int per_hour = 60 / spec.intervalMinutes;
+    const int day_offset = 2 * 24 * per_hour;
+    for (int h = 0; h < 24; h += 2) {
+        const std::size_t t =
+            static_cast<std::size_t>(day_offset + h * per_hour);
+        std::vector<std::string> row{std::to_string(h) + ":00"};
+        for (const auto child : children)
+            row.push_back(util::fmtFixed(before[child][t], 1));
+        for (const auto child : children)
+            row.push_back(util::fmtFixed(after[child][t], 1));
+        series.addRow(row);
+    }
+    series.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 10: peak-power reduction achieved by workload-aware placement at
+ * each level of the power infrastructure in the three datacenters.
+ *
+ * Paper reference (RPP level): DC1 2.3%, DC2 7.1%, DC3 13.1%, with
+ * smaller reductions at higher levels.  The shape to reproduce: reduction
+ * grows toward the leaves, and DC1 < DC2 < DC3.
+ */
+
+#include <iostream>
+
+#include "baseline/oblivious.h"
+#include "core/headroom.h"
+#include "core/placement.h"
+#include "power/power_tree.h"
+#include "util/table.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+int
+main()
+{
+    using namespace sosim;
+
+    std::cout << "=== Figure 10: peak power reduction by level ===\n"
+              << "Paper reference at RPP: DC1 2.3%, DC2 7.1%, DC3 13.1%\n\n";
+
+    util::Table table({"DC", "SUITE", "MSB", "SB", "RPP"});
+    util::Table extra({"DC", "extra servers hostable (RPP)"});
+
+    for (const auto &spec : workload::buildAllDcSpecs()) {
+        const auto dc = workload::generate(spec);
+        const auto training = dc.trainingTraces();
+        const auto test = dc.testTraces();
+        std::vector<std::size_t> service_of(dc.instanceCount());
+        for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+            service_of[i] = dc.serviceOf(i);
+
+        power::PowerTree tree(spec.topology);
+        const auto oblivious =
+            baseline::obliviousPlacement(tree, service_of);
+        core::PlacementEngine engine(tree, core::PlacementConfig{});
+        const auto optimized = engine.place(training, service_of);
+
+        const auto report =
+            core::comparePlacements(tree, test, oblivious, optimized);
+        table.addRow({
+            spec.name,
+            util::fmtPercent(
+                report.at(power::Level::Suite).peakReductionFraction),
+            util::fmtPercent(
+                report.at(power::Level::Msb).peakReductionFraction),
+            util::fmtPercent(
+                report.at(power::Level::Sb).peakReductionFraction),
+            util::fmtPercent(
+                report.at(power::Level::Rpp).peakReductionFraction),
+        });
+        extra.addRow({spec.name,
+                      util::fmtPercent(report.extraServerFraction())});
+    }
+
+    table.print(std::cout);
+    std::cout << '\n';
+    extra.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 12: a time-series segment showing server conversion's impact on
+ * per-LC-server load, Batch throughput, and LC throughput (pre- vs
+ * post-SmoothOperator).
+ *
+ * Shape to reproduce: post-SmoothOperator per-server load stays at or
+ * below the pre-SmoothOperator level even with grown traffic (conversion
+ * servers absorb the LC-heavy peaks), Batch throughput rises above 1.0
+ * during Batch-heavy phases, and LC throughput is uniformly higher.
+ */
+
+#include <iostream>
+
+#include "baseline/oblivious.h"
+#include "core/headroom.h"
+#include "core/placement.h"
+#include "sim/reshape.h"
+#include "util/table.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+int
+main()
+{
+    using namespace sosim;
+
+    std::cout << "=== Figure 12: server conversion timeline ===\n\n";
+
+    // DC2: the paper's example datacenter has ~11% unlocked headroom.
+    const auto spec = workload::buildDc2Spec();
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    const auto test = dc.testTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+
+    power::PowerTree tree(spec.topology);
+    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
+    core::PlacementEngine engine(tree, {});
+    const auto optimized = engine.place(training, service_of);
+    const auto headroom =
+        core::comparePlacements(tree, test, oblivious, optimized)
+            .extraServerFraction();
+    std::cout << "placement unlocked " << util::fmtPercent(headroom)
+              << " headroom; conversion servers fill it\n\n";
+
+    const auto inputs = sim::buildReshapeInputs(dc, headroom);
+    sim::ReshapeConfig config;
+    config.mode = sim::ReshapeMode::Conversion;
+    const auto result = sim::ReshapeSimulator(inputs, config).run();
+
+    std::cout << "learned conversion threshold L_conv = "
+              << util::fmtFixed(result.conversionThreshold, 3) << "\n"
+              << "conversion servers: " << result.extraServers << "\n\n";
+
+    // Two days of the test week, every 2 hours (normalized like the
+    // paper: throughput relative to the pre-SmoothOperator mean).
+    const double lc_norm = result.lcThroughputPre.mean();
+    const double batch_norm = result.batchThroughputPre.mean();
+    util::Table table({"day.hour", "load pre", "load post", "batch pre",
+                       "batch post", "LC pre", "LC post", "phase"});
+    const int per_hour = 60 / spec.intervalMinutes;
+    for (int h = 0; h < 48; h += 2) {
+        const std::size_t t = static_cast<std::size_t>(
+            (24 + h) * per_hour); // Start on day 2.
+        const bool lc_heavy =
+            result.perLcLoadPost[t] + 1e-9 >
+            result.conversionThreshold * 0.90;
+        table.addRow({
+            std::to_string(1 + h / 24) + "." + std::to_string(h % 24) +
+                ":00",
+            util::fmtFixed(result.perLcLoadPre[t], 3),
+            util::fmtFixed(result.perLcLoadPost[t], 3),
+            util::fmtFixed(result.batchThroughputPre[t] / batch_norm, 3),
+            util::fmtFixed(result.batchThroughputPost[t] / batch_norm, 3),
+            util::fmtFixed(result.lcThroughputPre[t] / lc_norm, 3),
+            util::fmtFixed(result.lcThroughputPost[t] / lc_norm, 3),
+            lc_heavy ? "LC-heavy" : "Batch-heavy",
+        });
+    }
+    table.print(std::cout);
+
+    std::cout << "\nweek totals: LC "
+              << util::fmtPercent(result.lcThroughputGain) << ", Batch "
+              << util::fmtPercent(result.batchThroughputGain)
+              << ", peak post load "
+              << util::fmtFixed(result.perLcLoadPost.peak(), 3)
+              << " vs threshold "
+              << util::fmtFixed(result.conversionThreshold, 3) << "\n";
+    return 0;
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): asynchrony scoring, score-vector
+ * embedding (I-to-S vs the quadratic I-to-I alternative the paper
+ * rejects), k-means, and end-to-end placement, swept over population
+ * sizes and trace lengths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/oblivious.h"
+#include "cluster/kmeans.h"
+#include "core/asynchrony.h"
+#include "core/placement.h"
+#include "core/service_traces.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim;
+
+workload::GeneratedDatacenter
+makeDc(int instances_per_service, int interval)
+{
+    workload::DatacenterSpec spec;
+    spec.name = "bench";
+    spec.topology.suites = 2;
+    spec.topology.msbsPerSuite = 2;
+    spec.topology.sbsPerMsb = 2;
+    spec.topology.rppsPerSb = 2;
+    spec.topology.racksPerRpp = 2;
+    spec.intervalMinutes = interval;
+    spec.weeks = 2;
+    spec.seed = 33;
+    spec.services.push_back(
+        {workload::webFrontend(), instances_per_service});
+    spec.services.push_back(
+        {workload::dbBackend(), instances_per_service});
+    spec.services.push_back({workload::hadoop(), instances_per_service});
+    return workload::generate(spec);
+}
+
+void
+BM_AsynchronyScorePair(benchmark::State &state)
+{
+    const auto dc = makeDc(2, static_cast<int>(state.range(0)));
+    const auto traces = dc.trainingTraces();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::pairAsynchronyScore(traces[0], traces[1]));
+    }
+    state.SetLabel(std::to_string(traces[0].size()) + " samples");
+}
+BENCHMARK(BM_AsynchronyScorePair)->Arg(60)->Arg(15)->Arg(5);
+
+void
+BM_ScoreVectors_ItoS(benchmark::State &state)
+{
+    const auto dc = makeDc(static_cast<int>(state.range(0)), 30);
+    const auto traces = dc.trainingTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    const auto straces = core::extractServiceTraces(traces, service_of, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::scoreVectors(traces, straces.straces));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(traces.size()));
+}
+BENCHMARK(BM_ScoreVectors_ItoS)->Arg(16)->Arg(64)->Arg(128);
+
+void
+BM_ScoreMatrix_ItoI(benchmark::State &state)
+{
+    // The pairwise alternative the paper rejects as unscalable: O(n^2)
+    // pair scores instead of O(n * m).
+    const auto dc = makeDc(static_cast<int>(state.range(0)), 30);
+    const auto traces = dc.trainingTraces();
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < traces.size(); ++i)
+            for (std::size_t j = i + 1; j < traces.size(); ++j)
+                acc += core::pairAsynchronyScore(traces[i], traces[j]);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(traces.size()));
+}
+BENCHMARK(BM_ScoreMatrix_ItoI)->Arg(16)->Arg(64);
+
+void
+BM_KMeans(benchmark::State &state)
+{
+    util::Rng rng(5);
+    std::vector<cluster::Point> points;
+    for (long i = 0; i < state.range(0); ++i) {
+        cluster::Point p(10);
+        for (auto &x : p)
+            x = rng.uniform(1.0, 2.0);
+        points.push_back(std::move(p));
+    }
+    cluster::KMeansConfig config;
+    config.k = 8;
+    config.restarts = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cluster::kMeans(points, config));
+}
+BENCHMARK(BM_KMeans)->Arg(128)->Arg(512)->Arg(2048);
+
+void
+BM_PlacementEndToEnd(benchmark::State &state)
+{
+    const auto dc = makeDc(static_cast<int>(state.range(0)), 30);
+    const auto traces = dc.trainingTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    power::PowerTree tree(dc.spec().topology);
+    core::PlacementEngine engine(tree, {});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.place(traces, service_of));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(traces.size()));
+}
+BENCHMARK(BM_PlacementEndToEnd)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            makeDc(static_cast<int>(state.range(0)), 30));
+    }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(16)->Arg(64);
+
+void
+BM_AggregateTraces(benchmark::State &state)
+{
+    const auto dc = makeDc(static_cast<int>(state.range(0)), 30);
+    const auto traces = dc.trainingTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    power::PowerTree tree(dc.spec().topology);
+    const auto assignment =
+        baseline::obliviousPlacement(tree, service_of);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            tree.aggregateTraces(traces, assignment));
+}
+BENCHMARK(BM_AggregateTraces)->Arg(32)->Arg(128);
+
+} // namespace
+
+BENCHMARK_MAIN();

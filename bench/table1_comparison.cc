@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table 1: qualitative comparison between SmoothOperator and prior
+ * approaches (Power Routing, Statistical Multiplexing, DistributedUPS),
+ * plus a quantitative head-to-head against the Statistical Multiplexing
+ * (StatProf) baseline that this repo reimplements.
+ */
+
+#include <iostream>
+
+#include "baseline/oblivious.h"
+#include "baseline/statprof.h"
+#include "core/placement.h"
+#include "util/table.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+int
+main()
+{
+    using namespace sosim;
+
+    std::cout << "=== Table 1: comparison with prior approaches ===\n\n";
+
+    util::Table table({"capability", "PowerRouting", "StatMultiplexing",
+                       "DistributedUPS", "SmoothOperator"});
+    table.addRow({"Using temporal information", "no", "no", "yes", "yes"});
+    table.addRow({"Using existing power infra.", "no", "yes", "no",
+                  "yes"});
+    table.addRow({"Automated process", "yes", "no", "no", "yes"});
+    table.addRow({"Balancing local peaks", "yes", "no", "no", "yes"});
+    table.addRow({"Proactive planning", "no", "yes", "no", "yes"});
+    table.print(std::cout);
+
+    std::cout << "\n--- quantitative head-to-head vs StatProf "
+                 "(RPP-level required budget, normalized) ---\n";
+    util::Table duel({"DC", "StatProf(10, 0.1)", "SmoOp(0, 0)",
+                      "SmoOp(10, 0.1)", "SmoOp(0,0) wins?"});
+    for (const auto &spec : workload::buildAllDcSpecs()) {
+        const auto dc = workload::generate(spec);
+        const auto training = dc.trainingTraces();
+        std::vector<std::size_t> service_of(dc.instanceCount());
+        for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+            service_of[i] = dc.serviceOf(i);
+        power::PowerTree tree(spec.topology);
+        core::PlacementEngine engine(tree, {});
+        const auto optimized = engine.place(training, service_of);
+        const double norm = baseline::sumOfInstancePeaks(training);
+
+        baseline::ProvisioningConfig ambitious{10.0, 0.1};
+        const auto sp = baseline::statProfRequiredBudget(tree, training,
+                                                         ambitious);
+        const auto so00 = baseline::smoothOperatorRequiredBudget(
+            tree, training, optimized, {});
+        const auto so10 = baseline::smoothOperatorRequiredBudget(
+            tree, training, optimized, ambitious);
+        const double sp_rpp = sp.at(power::Level::Rpp) / norm;
+        const double so00_rpp = so00.at(power::Level::Rpp) / norm;
+        duel.addRow({
+            spec.name,
+            util::fmtFixed(sp_rpp, 3),
+            util::fmtFixed(so00_rpp, 3),
+            util::fmtFixed(so10.at(power::Level::Rpp) / norm, 3),
+            so00_rpp <= sp_rpp ? "yes" : "no",
+        });
+    }
+    duel.print(std::cout);
+    std::cout << "\nPaper claim: SmoOp(0,0), with no probabilistic "
+                 "under-provisioning at all,\nmatches or beats the most "
+                 "ambitious StatProf configuration.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Capacity planning: a datacenter operator wants to know how many extra
+ * servers the existing power infrastructure can host, and how the
+ * SmoothOperator placement compares against probabilistic provisioning
+ * (StatProf) at each level of the power tree.
+ *
+ * This is the workflow behind Figures 10 and 11 of the paper, exposed as
+ * an operator-facing report for one datacenter.
+ */
+
+#include <iostream>
+
+#include "baseline/oblivious.h"
+#include "baseline/statprof.h"
+#include "core/headroom.h"
+#include "core/placement.h"
+#include "power/breaker.h"
+#include "util/table.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+int
+main()
+{
+    using namespace sosim;
+
+    workload::PresetOptions options;
+    options.scale = 0.5;
+    const auto spec = workload::buildDc3Spec(options);
+    std::cout << "Capacity planning report for " << spec.name << " ("
+              << spec.totalInstances() << " instances)\n\n";
+
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    const auto test = dc.testTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+
+    power::PowerTree tree(spec.topology);
+    const auto current = baseline::obliviousPlacement(tree, service_of);
+    core::PlacementEngine engine(tree, {});
+    const auto proposed = engine.place(training, service_of);
+
+    // 1. Peak reductions and the extra-server translation.
+    const auto report =
+        core::comparePlacements(tree, test, current, proposed);
+    std::cout << "1. Peak reduction by level (evaluated on the held-out "
+                 "week):\n";
+    util::Table peaks({"level", "current", "proposed", "reduction"});
+    for (const auto &lc : report.levels) {
+        peaks.addRow({power::levelName(lc.level),
+                      util::fmtFixed(lc.baselineSumPeaks, 1),
+                      util::fmtFixed(lc.optimizedSumPeaks, 1),
+                      util::fmtPercent(lc.peakReductionFraction)});
+    }
+    peaks.print(std::cout);
+    std::cout << "=> the same RPP budgets can host "
+              << util::fmtPercent(report.extraServerFraction())
+              << " more servers\n\n";
+
+    // 2. Budget requirement vs the probabilistic baseline.
+    std::cout << "2. Required budget at RPP level (normalized to peak "
+                 "provisioning):\n";
+    const double norm = baseline::sumOfInstancePeaks(training);
+    util::Table budgets({"scheme", "required budget"});
+    const auto sp00 = baseline::statProfRequiredBudget(tree, training, {});
+    baseline::ProvisioningConfig ambitious{10.0, 0.1};
+    const auto sp10 =
+        baseline::statProfRequiredBudget(tree, training, ambitious);
+    const auto so00 = baseline::smoothOperatorRequiredBudget(
+        tree, training, proposed, {});
+    budgets.addRow({"StatProf(0, 0) — peak provisioning",
+                    util::fmtFixed(sp00.at(power::Level::Rpp) / norm, 3)});
+    budgets.addRow({"StatProf(10, 0.1) — most ambitious",
+                    util::fmtFixed(sp10.at(power::Level::Rpp) / norm, 3)});
+    budgets.addRow({"SmoothOperator(0, 0)",
+                    util::fmtFixed(so00.at(power::Level::Rpp) / norm, 3)});
+    budgets.print(std::cout);
+
+    // 3. Safety check: would any breaker trip under the proposed
+    //    placement if budgets are set to the current per-node peaks?
+    std::cout << "\n3. Breaker safety check (budgets frozen at current "
+                 "peaks, 10-minute trip delay):\n";
+    const auto cur_traces = tree.aggregateTraces(test, current);
+    const auto new_traces = tree.aggregateTraces(test, proposed);
+    std::size_t trips = 0;
+    for (const auto rpp : tree.nodesAtLevel(power::Level::Rpp)) {
+        if (cur_traces[rpp].peak() <= 0.0)
+            continue;
+        power::BreakerModel breaker(cur_traces[rpp].peak(), 10);
+        if (breaker.wouldTrip(new_traces[rpp]))
+            ++trips;
+    }
+    std::cout << "RPP breakers that would trip: " << trips << " of "
+              << tree.nodesAtLevel(power::Level::Rpp).size() << "\n";
+    return 0;
+}

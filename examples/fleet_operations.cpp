@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Fleet operations: eight weeks in the life of a SmoothOperator-managed
+ * datacenter.
+ *
+ * The FragmentationMonitor re-evaluates the deployed placement from each
+ * week's telemetry.  In week 3 the fleet expands: a night-peaking
+ * search-index tier is racked obliviously into adjacent slots, exactly
+ * the kind of change that re-fragments the budget.  The monitor flags
+ * the jump in the fragmentation ratio, the swap-based Remapper spreads
+ * the new tier out, and the anti-affinity constraint (at most 4 replicas
+ * of one service per rack) is honored throughout, as in production.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "util/rng.h"
+#include "core/constraints.h"
+#include "core/monitor.h"
+#include "core/placement.h"
+#include "core/remap.h"
+#include "util/table.h"
+#include "workload/catalog.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim;
+
+/** Generate one week of telemetry; the fleet grows in week 3. */
+std::vector<trace::TimeSeries>
+weekTelemetry(int week)
+{
+    workload::DatacenterSpec spec;
+    spec.name = "ops";
+    spec.topology.suites = 1;
+    spec.topology.msbsPerSuite = 2;
+    spec.topology.sbsPerMsb = 2;
+    spec.topology.rppsPerSb = 2;
+    spec.topology.racksPerRpp = 2; // 16 racks.
+    spec.intervalMinutes = 15;
+    spec.weeks = 1;
+    spec.seed = 1000 + static_cast<std::uint64_t>(week);
+
+    // A phase-balanced fleet: racks carry comparable day and night
+    // mass, so the initial placement leaves little headroom on either
+    // side of the clock.
+    spec.services.push_back({workload::webFrontend(), 32});
+    spec.services.push_back({workload::search(), 16});
+    spec.services.push_back({workload::dbBackend(), 48});
+    spec.services.push_back({workload::hadoop(), 32});
+
+    std::vector<trace::TimeSeries> traces;
+    const auto dc = workload::generate(spec);
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        traces.push_back(dc.weekTrace(i, 0));
+
+    // From week 3 the fleet grows: a new night-peaking batch tier (a
+    // search-index rebuild service) comes online, 32 servers.
+    if (week >= 3) {
+        workload::DatacenterSpec extra = spec;
+        auto indexer = workload::searchIndex();
+        indexer.baseActivity = 0.30; // Deep night-vs-day swing.
+        extra.services = {{indexer, 32}};
+        extra.seed = 5000; // Same new fleet every week.
+        const auto new_dc = workload::generate(extra);
+        for (std::size_t i = 0; i < new_dc.instanceCount(); ++i)
+            traces.push_back(new_dc.weekTrace(i, 0));
+    }
+    return traces;
+}
+
+std::vector<std::size_t>
+serviceMap()
+{
+    const int counts[] = {32, 16, 48, 32};
+    std::vector<std::size_t> service_of;
+    for (std::size_t s = 0; s < 4; ++s)
+        for (int i = 0; i < counts[s]; ++i)
+            service_of.push_back(s);
+    return service_of;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sosim;
+
+    power::TopologySpec topology;
+    topology.suites = 1;
+    topology.msbsPerSuite = 2;
+    topology.sbsPerMsb = 2;
+    topology.rppsPerSb = 2;
+    topology.racksPerRpp = 2;
+    power::PowerTree tree(topology);
+
+    const auto service_of = serviceMap();
+    core::PlacementConstraints constraints;
+    constraints.maxServiceInstancesPerRack = 4;
+
+    // Initial placement from week-0 telemetry.
+    auto telemetry = weekTelemetry(0);
+    core::PlacementEngine engine(tree, {});
+    auto placement = engine.place(telemetry, service_of);
+    core::enforceConstraints(tree, placement, service_of, telemetry,
+                             constraints);
+
+    core::MonitorConfig monitor_config;
+    monitor_config.remapThreshold = 0.01;
+    monitor_config.replaceThreshold = 0.05;
+    core::FragmentationMonitor monitor(tree, monitor_config);
+
+    util::Table table({"week", "fragmentation ratio", "action taken",
+                       "swaps", "constraint violations"});
+
+    auto live_services = service_of;
+    for (int week = 0; week < 8; ++week) {
+        telemetry = weekTelemetry(week);
+
+        // Week 3: ops racks the 32 new search-index servers into the
+        // first free slots — adjacent racks, the oblivious default —
+        // without re-deriving the placement.
+        if (telemetry.size() > placement.size()) {
+            const auto &racks = tree.racks();
+            std::size_t next = 0;
+            while (placement.size() < telemetry.size()) {
+                placement.push_back(racks[next / 4]); // 4 per rack.
+                live_services.push_back(4);           // New service id.
+                ++next;
+            }
+        }
+
+        const auto obs = monitor.observeWeek(telemetry, placement);
+
+        std::string action = "none";
+        std::size_t swaps = 0;
+        if (obs.action == core::MonitorAction::Remap) {
+            core::RemapConfig rc;
+            rc.maxSwaps = 24;
+            core::Remapper remapper(tree, rc);
+            swaps = remapper.refine(placement, telemetry).size();
+            core::enforceConstraints(tree, placement, live_services,
+                                     telemetry, constraints);
+            monitor.placementUpdated();
+            action = "remap";
+        } else if (obs.action == core::MonitorAction::Replace) {
+            placement = engine.place(telemetry, live_services);
+            core::enforceConstraints(tree, placement, live_services,
+                                     telemetry, constraints);
+            monitor.placementUpdated();
+            action = "re-place";
+        }
+
+        table.addRow({
+            std::to_string(week),
+            util::fmtFixed(obs.fragmentationRatio, 3),
+            action,
+            std::to_string(swaps),
+            std::to_string(core::findViolations(tree, placement,
+                                                live_services, constraints)
+                               .size()),
+        });
+    }
+
+    std::cout << "Eight weeks of drift under continuous monitoring "
+                 "(anti-affinity: <=4 replicas/rack):\n\n";
+    table.print(std::cout);
+    std::cout << "\nThe monitor stays quiet until the week-3 expansion "
+                 "fragments the budget,\ntriggers one incremental remap "
+                 "that spreads the new night-peaking tier, and\nnever "
+                 "lets the placement violate the replica-spread "
+                 "constraint.\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dynamic power profile reshaping: after the placement step unlocks
+ * headroom, run the conversion + throttling/boosting runtime over the
+ * held-out week and report what each policy layer buys (section 4 of the
+ * paper, condensed into one operator report).
+ */
+
+#include <iostream>
+
+#include "baseline/oblivious.h"
+#include "core/headroom.h"
+#include "core/placement.h"
+#include "sim/reshape.h"
+#include "util/table.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+int
+main()
+{
+    using namespace sosim;
+
+    workload::PresetOptions options;
+    options.scale = 0.5;
+    const auto spec = workload::buildDc2Spec(options);
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    const auto test = dc.testTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+
+    power::PowerTree tree(spec.topology);
+    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
+    core::PlacementEngine engine(tree, {});
+    const auto optimized = engine.place(training, service_of);
+    const double headroom =
+        core::comparePlacements(tree, test, oblivious, optimized)
+            .extraServerFraction();
+
+    const auto inputs = sim::buildReshapeInputs(dc, headroom);
+    std::cout << "Reshaping report for " << spec.name << "\n"
+              << "  LC fleet " << inputs.lcServers << ", Batch fleet "
+              << inputs.batchServers << ", other " << inputs.otherServers
+              << "\n  unlocked headroom " << util::fmtPercent(headroom)
+              << "\n\n";
+
+    util::Table table({"policy", "LC gain", "Batch gain",
+                       "avg slack reduction", "QoS violations"});
+    for (const auto mode :
+         {sim::ReshapeMode::AddLcOnly, sim::ReshapeMode::Conversion,
+          sim::ReshapeMode::ConversionThrottleBoost}) {
+        sim::ReshapeConfig config;
+        config.mode = mode;
+        const auto result = sim::ReshapeSimulator(inputs, config).run();
+        table.addRow({
+            sim::reshapeModeName(mode),
+            util::fmtPercent(result.lcThroughputGain),
+            util::fmtPercent(result.batchThroughputGain),
+            util::fmtPercent(result.averageSlackReduction),
+            util::fmtPercent(result.qosViolationFraction),
+        });
+    }
+    table.print(std::cout);
+
+    // Show the learned threshold and a sweep over throttle depth: the
+    // deeper the throttle, the more LC capacity the datacenter can
+    // absorb during peaks, at growing Batch cost during LC-heavy hours.
+    sim::ReshapeConfig probe;
+    probe.mode = sim::ReshapeMode::ConversionThrottleBoost;
+    const auto base = sim::ReshapeSimulator(inputs, probe).run();
+    std::cout << "\nlearned L_conv = "
+              << util::fmtFixed(base.conversionThreshold, 3)
+              << ", LC-heavy time "
+              << util::fmtPercent(base.lcHeavyFraction) << "\n\n";
+
+    std::cout << "Throttle-depth sweep (throttle/boost policy):\n";
+    util::Table sweep({"throttle freq", "extra conv servers", "LC gain",
+                       "Batch gain"});
+    for (const double f : {0.95, 0.90, 0.85, 0.80}) {
+        sim::ReshapeConfig config;
+        config.mode = sim::ReshapeMode::ConversionThrottleBoost;
+        config.throttleFrequency = f;
+        const auto result = sim::ReshapeSimulator(inputs, config).run();
+        sweep.addRow({
+            util::fmtFixed(f, 2),
+            std::to_string(result.throttleExtraServers),
+            util::fmtPercent(result.lcThroughputGain),
+            util::fmtPercent(result.batchThroughputGain),
+        });
+    }
+    sweep.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,56 @@
+#include "oblivious.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace sosim::baseline {
+
+power::Assignment
+obliviousPlacement(const power::PowerTree &tree,
+                   const std::vector<std::size_t> &service_of)
+{
+    SOSIM_REQUIRE(!service_of.empty(), "obliviousPlacement: no instances");
+    const auto &racks = tree.racks();
+
+    // Concatenate service blocks in service-id order.
+    std::map<std::size_t, std::vector<std::size_t>> by_service;
+    for (std::size_t i = 0; i < service_of.size(); ++i)
+        by_service[service_of[i]].push_back(i);
+    std::vector<std::size_t> ordered;
+    ordered.reserve(service_of.size());
+    for (const auto &[sid, members] : by_service)
+        ordered.insert(ordered.end(), members.begin(), members.end());
+
+    // Fill racks evenly and contiguously: the first racks get the first
+    // service's instances, and so on.
+    const std::size_t n = ordered.size();
+    const std::size_t per_rack = (n + racks.size() - 1) / racks.size();
+    power::Assignment assignment(n, power::kNoNode);
+    for (std::size_t k = 0; k < n; ++k)
+        assignment[ordered[k]] = racks[std::min(k / per_rack,
+                                                racks.size() - 1)];
+    return assignment;
+}
+
+power::Assignment
+randomPlacement(const power::PowerTree &tree, std::size_t instance_count,
+                std::uint64_t seed)
+{
+    SOSIM_REQUIRE(instance_count > 0, "randomPlacement: no instances");
+    const auto &racks = tree.racks();
+    std::vector<std::size_t> ordered(instance_count);
+    for (std::size_t i = 0; i < instance_count; ++i)
+        ordered[i] = i;
+    util::Rng rng(seed);
+    rng.shuffle(ordered);
+
+    power::Assignment assignment(instance_count, power::kNoNode);
+    for (std::size_t k = 0; k < instance_count; ++k)
+        assignment[ordered[k]] = racks[k % racks.size()];
+    return assignment;
+}
+
+} // namespace sosim::baseline

@@ -1,0 +1,49 @@
+#ifndef SOSIM_BASELINE_OBLIVIOUS_H
+#define SOSIM_BASELINE_OBLIVIOUS_H
+
+/**
+ * @file
+ * Baseline placements.
+ *
+ * The paper's baseline is the "oblivious" production practice of placing
+ * the instances of one service together ("instances of the same services
+ * are typically placed together", section 1): service blocks fill racks
+ * sequentially, so synchronous instances share sub-trees and fragment the
+ * power budget.  A uniform random placement is also provided as a second
+ * reference point.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "power/power_tree.h"
+
+namespace sosim::baseline {
+
+/**
+ * Service-block placement: instances grouped by service, groups laid out
+ * contiguously across the racks in id order, racks filled evenly.
+ *
+ * @param tree       Power infrastructure.
+ * @param service_of Service id of each instance.
+ * @return Rack assignment of every instance.
+ */
+power::Assignment
+obliviousPlacement(const power::PowerTree &tree,
+                   const std::vector<std::size_t> &service_of);
+
+/**
+ * Uniform random placement with even rack occupancy (a random permutation
+ * dealt round-robin across racks).
+ *
+ * @param tree           Power infrastructure.
+ * @param instance_count Number of instances to place.
+ * @param seed           Shuffle seed.
+ */
+power::Assignment
+randomPlacement(const power::PowerTree &tree, std::size_t instance_count,
+                std::uint64_t seed);
+
+} // namespace sosim::baseline
+
+#endif // SOSIM_BASELINE_OBLIVIOUS_H

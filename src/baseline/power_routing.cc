@@ -1,0 +1,119 @@
+#include "power_routing.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sosim::baseline {
+
+PowerRoutingResult
+routePower(const power::PowerTree &tree,
+           const std::vector<trace::TimeSeries> &itraces,
+           const power::Assignment &assignment,
+           const PowerRoutingConfig &config)
+{
+    SOSIM_REQUIRE(!itraces.empty(), "routePower: no instances");
+    SOSIM_REQUIRE(assignment.size() == itraces.size(),
+                  "routePower: assignment size mismatch");
+    SOSIM_REQUIRE(config.sweeps >= 1, "routePower: sweeps must be >= 1");
+    const auto &rpps = tree.nodesAtLevel(power::Level::Rpp);
+    SOSIM_REQUIRE(rpps.size() >= 2,
+                  "routePower: need at least two RPPs for dual cording");
+    SOSIM_REQUIRE(config.secondaryOffset >= 1 &&
+                      config.secondaryOffset < rpps.size(),
+                  "routePower: secondary offset must be in "
+                  "[1, #RPPs)");
+
+    // Rack load traces.
+    const auto &proto = itraces.front();
+    std::vector<trace::TimeSeries> rack_load(tree.nodeCount());
+    for (const auto rack : tree.racks())
+        rack_load[rack] =
+            trace::TimeSeries::zeros(proto.size(),
+                                     proto.intervalMinutes());
+    for (std::size_t i = 0; i < itraces.size(); ++i) {
+        SOSIM_REQUIRE(itraces[i].alignedWith(proto),
+                      "routePower: misaligned traces");
+        const auto rack = assignment[i];
+        SOSIM_REQUIRE(rack < tree.nodeCount() &&
+                          tree.node(rack).level == power::Level::Rack,
+                      "routePower: assignment target is not a rack");
+        rack_load[rack] += itraces[i];
+    }
+
+    // Primary and secondary feed of each rack.
+    std::vector<std::size_t> rpp_index(tree.nodeCount(), 0);
+    for (std::size_t k = 0; k < rpps.size(); ++k)
+        rpp_index[rpps[k]] = k;
+    struct Cording {
+        power::NodeId rack;
+        power::NodeId primary;
+        power::NodeId secondary;
+    };
+    std::vector<Cording> cords;
+    cords.reserve(tree.racks().size());
+    for (const auto rack : tree.racks()) {
+        const auto primary = tree.node(rack).parent;
+        const auto secondary =
+            rpps[(rpp_index[primary] + config.secondaryOffset) %
+                 rpps.size()];
+        cords.push_back({rack, primary, secondary});
+    }
+
+    PowerRoutingResult result;
+    result.rppTraces.assign(tree.nodeCount(), trace::TimeSeries());
+    for (const auto rpp : rpps)
+        result.rppTraces[rpp] = trace::TimeSeries::zeros(
+            proto.size(), proto.intervalMinutes());
+
+    // Per-timestep relaxation: each rack repeatedly re-splits its load
+    // so that its two feeds' totals equalize, subject to the split
+    // staying in [0, 1].  A few Jacobi sweeps reach a near-balanced
+    // fixed point.
+    std::vector<double> split(cords.size(), 1.0);
+    std::vector<double> feed(tree.nodeCount(), 0.0);
+    for (std::size_t t = 0; t < proto.size(); ++t) {
+        std::fill(split.begin(), split.end(), 1.0);
+        for (int sweep = 0; sweep < config.sweeps; ++sweep) {
+            // Feed totals under the current splits.
+            for (const auto rpp : rpps)
+                feed[rpp] = 0.0;
+            for (std::size_t c = 0; c < cords.size(); ++c) {
+                const double load = rack_load[cords[c].rack][t];
+                feed[cords[c].primary] += split[c] * load;
+                feed[cords[c].secondary] += (1.0 - split[c]) * load;
+            }
+            // Local re-balancing of every cord.
+            for (std::size_t c = 0; c < cords.size(); ++c) {
+                const double load = rack_load[cords[c].rack][t];
+                if (load <= 0.0)
+                    continue;
+                const double on_primary = split[c] * load;
+                const double p_rest =
+                    feed[cords[c].primary] - on_primary;
+                const double s_rest = feed[cords[c].secondary] -
+                                      (load - on_primary);
+                // Split that equalizes the two feeds: p_rest + x*load
+                // == s_rest + (1-x)*load.
+                const double x = std::clamp(
+                    (s_rest - p_rest + load) / (2.0 * load), 0.0, 1.0);
+                feed[cords[c].primary] += (x - split[c]) * load;
+                feed[cords[c].secondary] -= (x - split[c]) * load;
+                split[c] = x;
+            }
+        }
+        for (const auto rpp : rpps)
+            result.rppTraces[rpp][t] = feed[rpp];
+    }
+
+    for (const auto rpp : rpps)
+        result.sumOfRoutedPeaks += result.rppTraces[rpp].peak();
+
+    // Reference: single-corded (everything on the primary feed).
+    const auto unrouted = tree.aggregateTraces(itraces, assignment);
+    result.sumOfUnroutedPeaks =
+        tree.sumOfPeaks(unrouted, power::Level::Rpp);
+    return result;
+}
+
+} // namespace sosim::baseline

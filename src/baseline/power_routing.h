@@ -1,0 +1,70 @@
+#ifndef SOSIM_BASELINE_POWER_ROUTING_H
+#define SOSIM_BASELINE_POWER_ROUTING_H
+
+/**
+ * @file
+ * Power Routing baseline (Pelley et al., ASPLOS'10), simplified.
+ *
+ * Power Routing attacks fragmentation in hardware: servers are
+ * dual-corded, every rack is fed by a primary and a secondary RPP
+ * (a "shuffled" topology), and a scheduler routes each rack's draw
+ * between its two feeds to balance load across RPPs.  The paper's
+ * Table 1 positions it as balancing local peaks but requiring new
+ * power infrastructure (the richer cording) — the opposite trade from
+ * SmoothOperator, which balances peaks in software on the existing
+ * tree.
+ *
+ * This model reproduces the mechanism at the RPP level: per timestep,
+ * rack loads are split across their two feeds by iterative local
+ * relaxation, and the required capacity of each RPP is the peak of its
+ * routed feed load.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "power/power_tree.h"
+#include "trace/time_series.h"
+
+namespace sosim::baseline {
+
+/** Configuration of the routing scheduler. */
+struct PowerRoutingConfig {
+    /**
+     * How far away the secondary feed is: rack k's secondary RPP is
+     * `secondaryOffset` positions after its primary in the RPP list
+     * (wrapped).  Offsets that leave the local subtree give the
+     * scheduler more freedom, mirroring the paper's shuffled topologies.
+     */
+    std::size_t secondaryOffset = 1;
+    /** Relaxation sweeps per timestep. */
+    int sweeps = 8;
+};
+
+/** Result of routing one placement's rack loads. */
+struct PowerRoutingResult {
+    /** Routed per-RPP load traces (indexed by NodeId). */
+    std::vector<trace::TimeSeries> rppTraces;
+    /** Sum over RPPs of their routed peak (capacity requirement). */
+    double sumOfRoutedPeaks = 0.0;
+    /** The same sum without routing (single-corded), for reference. */
+    double sumOfUnroutedPeaks = 0.0;
+};
+
+/**
+ * Route rack loads across dual feeds and report required RPP capacity.
+ *
+ * @param tree       Power infrastructure (defines racks and RPPs).
+ * @param itraces    Power trace of every instance.
+ * @param assignment Placement of instances onto racks.
+ * @param config     Routing parameters.
+ */
+PowerRoutingResult
+routePower(const power::PowerTree &tree,
+           const std::vector<trace::TimeSeries> &itraces,
+           const power::Assignment &assignment,
+           const PowerRoutingConfig &config = {});
+
+} // namespace sosim::baseline
+
+#endif // SOSIM_BASELINE_POWER_ROUTING_H

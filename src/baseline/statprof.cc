@@ -1,0 +1,82 @@
+#include "statprof.h"
+
+#include "trace/cdf.h"
+#include "util/error.h"
+
+namespace sosim::baseline {
+
+namespace {
+
+void
+validate(const ProvisioningConfig &config)
+{
+    SOSIM_REQUIRE(config.underProvisionPct >= 0.0 &&
+                      config.underProvisionPct < 100.0,
+                  "ProvisioningConfig: u must be in [0, 100)");
+    SOSIM_REQUIRE(config.overbookingDelta >= 0.0,
+                  "ProvisioningConfig: delta must be >= 0");
+}
+
+} // namespace
+
+ProvisioningReport
+statProfRequiredBudget(const power::PowerTree &tree,
+                       const std::vector<trace::TimeSeries> &itraces,
+                       const ProvisioningConfig &config)
+{
+    validate(config);
+    SOSIM_REQUIRE(!itraces.empty(), "statProfRequiredBudget: no instances");
+
+    double sum_percentiles = 0.0;
+    for (const auto &t : itraces) {
+        const trace::Cdf cdf(t);
+        sum_percentiles = sum_percentiles +
+                          cdf.percentile(100.0 - config.underProvisionPct);
+    }
+
+    (void)tree;
+    ProvisioningReport report;
+    report.requiredBudgetByLevel.assign(power::kNumLevels,
+                                        sum_percentiles);
+    report.requiredBudgetByLevel[power::levelDepth(
+        power::Level::Datacenter)] =
+        sum_percentiles / (1.0 + config.overbookingDelta);
+    return report;
+}
+
+ProvisioningReport
+smoothOperatorRequiredBudget(const power::PowerTree &tree,
+                             const std::vector<trace::TimeSeries> &itraces,
+                             const power::Assignment &assignment,
+                             const ProvisioningConfig &config)
+{
+    validate(config);
+    const auto node_traces = tree.aggregateTraces(itraces, assignment);
+
+    ProvisioningReport report;
+    report.requiredBudgetByLevel.assign(power::kNumLevels, 0.0);
+    for (const auto level : power::kAllLevels) {
+        double total = 0.0;
+        for (const auto id : tree.nodesAtLevel(level)) {
+            if (node_traces[id].peak() <= 0.0)
+                continue; // Unpopulated node needs no budget.
+            total += node_traces[id].percentile(
+                100.0 - config.underProvisionPct);
+        }
+        if (level == power::Level::Datacenter)
+            total /= 1.0 + config.overbookingDelta;
+        report.requiredBudgetByLevel[power::levelDepth(level)] = total;
+    }
+    return report;
+}
+
+double
+sumOfInstancePeaks(const std::vector<trace::TimeSeries> &itraces)
+{
+    double total = 0.0;
+    for (const auto &t : itraces)
+        total += t.peak();
+    return total;
+}
+
+} // namespace sosim::baseline

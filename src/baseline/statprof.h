@@ -1,0 +1,91 @@
+#ifndef SOSIM_BASELINE_STATPROF_H
+#define SOSIM_BASELINE_STATPROF_H
+
+/**
+ * @file
+ * Reimplementation of the statistical-profiling provisioning baseline
+ * (Govindan et al., EuroSys'09) as described in section 5.2.1 of the
+ * SmoothOperator paper, plus the SmoothOperator counterpart used in
+ * Figure 11.
+ *
+ * StatProf(u, delta) models each instance's power as a CDF, provisions
+ * each power node as the sum of its instances' (100-u)-th percentile
+ * power (placement-independent), and overbooks the datacenter level by a
+ * factor (1 + delta).
+ *
+ * SmoOp(u, delta) provisions each node at the (100-u)-th percentile of
+ * the node's *actual aggregate trace* under the workload-aware placement
+ * and overbooks the datacenter level the same way — exploiting temporal
+ * asynchrony instead of (only) probabilistic multiplexing.
+ */
+
+#include <vector>
+
+#include "power/level.h"
+#include "power/power_tree.h"
+#include "trace/time_series.h"
+
+namespace sosim::baseline {
+
+/** Degree of under-provisioning and overbooking, (u, delta). */
+struct ProvisioningConfig {
+    /** Percentile slack u: provision the (100-u)-th percentile. */
+    double underProvisionPct = 0.0;
+    /** Datacenter-level overbooking factor delta. */
+    double overbookingDelta = 0.0;
+};
+
+/** Required budget at each tree level (indexed by levelDepth). */
+struct ProvisioningReport {
+    std::vector<double> requiredBudgetByLevel;
+
+    double at(power::Level level) const
+    {
+        return requiredBudgetByLevel[power::levelDepth(level)];
+    }
+};
+
+/**
+ * StatProf(u, delta): required budget per level.
+ *
+ * Every non-root level requires sum_i c_{i,u} (the placement-independent
+ * sum of per-instance percentile powers); the datacenter level divides
+ * by (1 + delta).
+ *
+ * @param tree    Power infrastructure (defines the level set).
+ * @param itraces Power trace of every instance.
+ * @param config  (u, delta).
+ */
+ProvisioningReport
+statProfRequiredBudget(const power::PowerTree &tree,
+                       const std::vector<trace::TimeSeries> &itraces,
+                       const ProvisioningConfig &config);
+
+/**
+ * SmoOp(u, delta): required budget per level for a concrete placement.
+ *
+ * Each node requires the (100-u)-th percentile of its aggregate trace;
+ * the datacenter level divides by (1 + delta).  With u = delta = 0 this
+ * is plain peak provisioning of the optimized placement.
+ *
+ * @param tree       Power infrastructure.
+ * @param itraces    Power trace of every instance.
+ * @param assignment Placement whose aggregates are provisioned.
+ * @param config     (u, delta).
+ */
+ProvisioningReport
+smoothOperatorRequiredBudget(const power::PowerTree &tree,
+                             const std::vector<trace::TimeSeries> &itraces,
+                             const power::Assignment &assignment,
+                             const ProvisioningConfig &config);
+
+/**
+ * The peak-provisioning normalization constant used by the Figure 11
+ * bench: the sum of every instance's individual peak power, i.e.
+ * StatProf(0, 0)'s per-level requirement.
+ */
+double sumOfInstancePeaks(const std::vector<trace::TimeSeries> &itraces);
+
+} // namespace sosim::baseline
+
+#endif // SOSIM_BASELINE_STATPROF_H

@@ -1,0 +1,234 @@
+#include "kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace sosim::cluster {
+
+double
+squaredDistance(const Point &a, const Point &b)
+{
+    SOSIM_REQUIRE(a.size() == b.size(),
+                  "squaredDistance: dimension mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+namespace {
+
+/** k-means++ seeding: spread initial centroids proportionally to D². */
+std::vector<Point>
+seedPlusPlus(const std::vector<Point> &points, std::size_t k,
+             util::Rng &rng)
+{
+    std::vector<Point> centroids;
+    centroids.reserve(k);
+    centroids.push_back(
+        points[static_cast<std::size_t>(
+            rng.uniformInt(0, (std::int64_t)points.size() - 1))]);
+
+    std::vector<double> dist2(points.size(),
+                              std::numeric_limits<double>::max());
+    while (centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            dist2[i] = std::min(dist2[i],
+                                squaredDistance(points[i],
+                                                centroids.back()));
+            total += dist2[i];
+        }
+        if (total <= 0.0) {
+            // All remaining points coincide with a centroid; duplicate.
+            centroids.push_back(centroids.back());
+            continue;
+        }
+        double target = rng.uniform(0.0, total);
+        std::size_t chosen = points.size() - 1;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            target -= dist2[i];
+            if (target <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(points[chosen]);
+    }
+    return centroids;
+}
+
+/** One full Lloyd descent from a given seeding. */
+KMeansResult
+lloyd(const std::vector<Point> &points, std::vector<Point> centroids,
+      const KMeansConfig &config)
+{
+    const std::size_t n = points.size();
+    const std::size_t k = centroids.size();
+    const std::size_t dim = points.front().size();
+
+    KMeansResult result;
+    result.assignment.assign(n, 0);
+    double prev_inertia = std::numeric_limits<double>::max();
+
+    for (int iter = 0; iter < config.maxIterations; ++iter) {
+        // Assignment step.
+        double inertia = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::max();
+            std::size_t best_c = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+                const double d = squaredDistance(points[i], centroids[c]);
+                if (d < best) {
+                    best = d;
+                    best_c = c;
+                }
+            }
+            result.assignment[i] = best_c;
+            inertia += best;
+        }
+
+        // Update step.
+        std::vector<Point> sums(k, Point(dim, 0.0));
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t c = result.assignment[i];
+            ++counts[c];
+            for (std::size_t d = 0; d < dim; ++d)
+                sums[c][d] += points[i][d];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue; // Keep the empty cluster's centroid in place.
+            for (std::size_t d = 0; d < dim; ++d)
+                centroids[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+        }
+
+        result.inertia = inertia;
+        result.iterations = iter + 1;
+        if (prev_inertia - inertia <=
+            config.tolerance * std::max(prev_inertia, 1e-300)) {
+            break;
+        }
+        prev_inertia = inertia;
+    }
+
+    result.centroids = std::move(centroids);
+    return result;
+}
+
+} // namespace
+
+KMeansResult
+kMeans(const std::vector<Point> &points, const KMeansConfig &config)
+{
+    SOSIM_REQUIRE(!points.empty(), "kMeans: need at least one point");
+    SOSIM_REQUIRE(config.k >= 1, "kMeans: k must be >= 1");
+    SOSIM_REQUIRE(config.k <= points.size(),
+                  "kMeans: k must not exceed the number of points");
+    SOSIM_REQUIRE(config.restarts >= 1, "kMeans: restarts must be >= 1");
+    const std::size_t dim = points.front().size();
+    SOSIM_REQUIRE(dim >= 1, "kMeans: points must have dimension >= 1");
+    for (const auto &p : points)
+        SOSIM_REQUIRE(p.size() == dim, "kMeans: inconsistent dimensions");
+
+    util::Rng rng(config.seed);
+    KMeansResult best;
+    best.inertia = std::numeric_limits<double>::max();
+    for (int r = 0; r < config.restarts; ++r) {
+        auto seeded = seedPlusPlus(points, config.k, rng);
+        auto result = lloyd(points, std::move(seeded), config);
+        if (result.inertia < best.inertia)
+            best = std::move(result);
+    }
+    return best;
+}
+
+std::vector<std::size_t>
+clusterSizes(const std::vector<std::size_t> &assignment, std::size_t k)
+{
+    std::vector<std::size_t> sizes(k, 0);
+    for (const auto c : assignment) {
+        SOSIM_REQUIRE(c < k, "clusterSizes: assignment index out of range");
+        ++sizes[c];
+    }
+    return sizes;
+}
+
+void
+equalizeClusterSizes(const std::vector<Point> &points, KMeansResult &result)
+{
+    const std::size_t n = points.size();
+    const std::size_t k = result.centroids.size();
+    SOSIM_REQUIRE(result.assignment.size() == n,
+                  "equalizeClusterSizes: assignment size mismatch");
+    if (k <= 1)
+        return;
+
+    auto sizes = clusterSizes(result.assignment, k);
+    const std::size_t base = n / k;
+    const std::size_t extra = n % k; // First `extra` clusters get base+1.
+
+    auto target_of = [&](std::size_t c) { return base + (c < extra); };
+
+    // Greedily drain over-full clusters into under-full ones, moving the
+    // point whose reassignment costs the least extra inertia.
+    for (std::size_t c = 0; c < k; ++c) {
+        while (sizes[c] > target_of(c)) {
+            double best_cost = std::numeric_limits<double>::max();
+            std::size_t best_point = n, best_dst = k;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (result.assignment[i] != c)
+                    continue;
+                for (std::size_t dst = 0; dst < k; ++dst) {
+                    if (dst == c || sizes[dst] >= target_of(dst))
+                        continue;
+                    const double cost =
+                        squaredDistance(points[i], result.centroids[dst]) -
+                        squaredDistance(points[i], result.centroids[c]);
+                    if (cost < best_cost) {
+                        best_cost = cost;
+                        best_point = i;
+                        best_dst = dst;
+                    }
+                }
+            }
+            SOSIM_ASSERT(best_point < n,
+                         "equalizeClusterSizes: no destination found");
+            result.assignment[best_point] = best_dst;
+            --sizes[c];
+            ++sizes[best_dst];
+        }
+    }
+
+    // Recompute centroids and inertia for the balanced assignment.
+    const std::size_t dim = points.front().size();
+    std::vector<Point> sums(k, Point(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t c = result.assignment[i];
+        ++counts[c];
+        for (std::size_t d = 0; d < dim; ++d)
+            sums[c][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+        if (counts[c] == 0)
+            continue;
+        for (std::size_t d = 0; d < dim; ++d)
+            result.centroids[c][d] =
+                sums[c][d] / static_cast<double>(counts[c]);
+    }
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        inertia += squaredDistance(points[i],
+                                   result.centroids[result.assignment[i]]);
+    result.inertia = inertia;
+}
+
+} // namespace sosim::cluster

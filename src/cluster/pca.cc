@@ -1,0 +1,110 @@
+#include "pca.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sosim::cluster {
+
+namespace {
+
+/** Multiply the (implicit) covariance matrix by vector v. */
+Point
+covarianceTimes(const std::vector<Point> &centered, const Point &v)
+{
+    const std::size_t dim = v.size();
+    Point out(dim, 0.0);
+    for (const auto &row : centered) {
+        double dot = 0.0;
+        for (std::size_t d = 0; d < dim; ++d)
+            dot += row[d] * v[d];
+        for (std::size_t d = 0; d < dim; ++d)
+            out[d] += dot * row[d];
+    }
+    const double scale = 1.0 / static_cast<double>(centered.size());
+    for (auto &x : out)
+        x *= scale;
+    return out;
+}
+
+double
+norm(const Point &v)
+{
+    double acc = 0.0;
+    for (const auto x : v)
+        acc += x * x;
+    return std::sqrt(acc);
+}
+
+} // namespace
+
+PcaResult
+pca(const std::vector<Point> &points, std::size_t components, int iterations)
+{
+    SOSIM_REQUIRE(!points.empty(), "pca: need at least one point");
+    const std::size_t dim = points.front().size();
+    SOSIM_REQUIRE(components >= 1 && components <= dim,
+                  "pca: component count must be in [1, dimension]");
+    for (const auto &p : points)
+        SOSIM_REQUIRE(p.size() == dim, "pca: inconsistent dimensions");
+
+    // Center the data.
+    Point mean(dim, 0.0);
+    for (const auto &p : points)
+        for (std::size_t d = 0; d < dim; ++d)
+            mean[d] += p[d];
+    for (auto &m : mean)
+        m /= static_cast<double>(points.size());
+    std::vector<Point> centered(points);
+    for (auto &p : centered)
+        for (std::size_t d = 0; d < dim; ++d)
+            p[d] -= mean[d];
+
+    PcaResult result;
+    for (std::size_t c = 0; c < components; ++c) {
+        // Deterministic start vector, orthogonal-ish across components.
+        Point v(dim, 0.0);
+        v[c % dim] = 1.0;
+        if (dim > 1)
+            v[(c + 1) % dim] = 0.5;
+
+        double eigenvalue = 0.0;
+        for (int it = 0; it < iterations; ++it) {
+            Point w = covarianceTimes(centered, v);
+            // Deflate: remove already-found components.
+            for (const auto &prev : result.components) {
+                double dot = 0.0;
+                for (std::size_t d = 0; d < dim; ++d)
+                    dot += w[d] * prev[d];
+                for (std::size_t d = 0; d < dim; ++d)
+                    w[d] -= dot * prev[d];
+            }
+            const double len = norm(w);
+            if (len < 1e-15) {
+                // No variance left in this direction.
+                w.assign(dim, 0.0);
+                v = w;
+                eigenvalue = 0.0;
+                break;
+            }
+            for (auto &x : w)
+                x /= len;
+            v = std::move(w);
+            eigenvalue = len;
+        }
+        result.components.push_back(v);
+        result.explainedVariance.push_back(eigenvalue);
+    }
+
+    result.projected.assign(points.size(), Point(components, 0.0));
+    for (std::size_t i = 0; i < points.size(); ++i)
+        for (std::size_t c = 0; c < components; ++c) {
+            double dot = 0.0;
+            for (std::size_t d = 0; d < dim; ++d)
+                dot += centered[i][d] * result.components[c][d];
+            result.projected[i][c] = dot;
+        }
+    return result;
+}
+
+} // namespace sosim::cluster

@@ -1,0 +1,39 @@
+#ifndef SOSIM_CLUSTER_PCA_H
+#define SOSIM_CLUSTER_PCA_H
+
+/**
+ * @file
+ * Principal component analysis by power iteration with deflation.  Used
+ * to initialize the t-SNE embedding (Figure 8) and as a cheap linear
+ * baseline projection of the asynchrony-score space.
+ */
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+
+namespace sosim::cluster {
+
+/** Result of projecting points onto the leading principal components. */
+struct PcaResult {
+    /** Per-point coordinates in component space (n x d_out). */
+    std::vector<Point> projected;
+    /** The components themselves (d_out x d_in, unit length). */
+    std::vector<Point> components;
+    /** Variance captured by each component. */
+    std::vector<double> explainedVariance;
+};
+
+/**
+ * Project points onto their top `components` principal components.
+ *
+ * @param points     Input points; all must share one dimensionality.
+ * @param components Number of leading components (>= 1, <= dimension).
+ * @param iterations Power-iteration steps per component.
+ */
+PcaResult pca(const std::vector<Point> &points, std::size_t components,
+              int iterations = 100);
+
+} // namespace sosim::cluster
+
+#endif // SOSIM_CLUSTER_PCA_H

@@ -1,0 +1,193 @@
+#include "tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/pca.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace sosim::cluster {
+
+namespace {
+
+/**
+ * Binary-search the Gaussian bandwidth of row i so the conditional
+ * distribution P(j|i) has the requested perplexity, writing the row of
+ * conditional probabilities into `row`.
+ */
+void
+perplexityRow(const std::vector<double> &dist2_row, std::size_t i,
+              double target_perplexity, std::vector<double> &row)
+{
+    const std::size_t n = dist2_row.size();
+    const double log_target = std::log(target_perplexity);
+
+    double beta = 1.0; // 1 / (2 sigma^2)
+    double beta_lo = 0.0;
+    double beta_hi = std::numeric_limits<double>::max();
+
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            row[j] = (j == i) ? 0.0 : std::exp(-beta * dist2_row[j]);
+            sum += row[j];
+        }
+        if (sum <= 0.0)
+            sum = std::numeric_limits<double>::min();
+
+        // Shannon entropy H of the row distribution.
+        double h = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (row[j] > 0.0) {
+                const double p = row[j] / sum;
+                h -= p * std::log(p);
+            }
+        }
+        const double diff = h - log_target;
+        if (std::abs(diff) < 1e-5)
+            break;
+        if (diff > 0.0) {
+            beta_lo = beta;
+            beta = (beta_hi == std::numeric_limits<double>::max())
+                ? beta * 2.0
+                : (beta + beta_hi) / 2.0;
+        } else {
+            beta_hi = beta;
+            beta = (beta + beta_lo) / 2.0;
+        }
+    }
+
+    double sum = 0.0;
+    for (const auto p : row)
+        sum += p;
+    if (sum <= 0.0)
+        sum = std::numeric_limits<double>::min();
+    for (auto &p : row)
+        p /= sum;
+}
+
+} // namespace
+
+std::vector<Point>
+tsne(const std::vector<Point> &points, const TsneConfig &config)
+{
+    SOSIM_REQUIRE(points.size() >= 4, "tsne: need at least 4 points");
+    SOSIM_REQUIRE(config.outputDims >= 1, "tsne: outputDims must be >= 1");
+    SOSIM_REQUIRE(config.iterations >= 1, "tsne: iterations must be >= 1");
+    const std::size_t n = points.size();
+    const std::size_t in_dim = points.front().size();
+    for (const auto &p : points)
+        SOSIM_REQUIRE(p.size() == in_dim, "tsne: inconsistent dimensions");
+
+    const double perplexity =
+        std::min(config.perplexity,
+                 std::max(2.0, static_cast<double>(n - 1) / 3.0));
+
+    // Pairwise squared distances in input space.
+    std::vector<std::vector<double>> dist2(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double d = squaredDistance(points[i], points[j]);
+            dist2[i][j] = d;
+            dist2[j][i] = d;
+        }
+
+    // Symmetrized joint probabilities P.
+    std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+    {
+        std::vector<double> row(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            perplexityRow(dist2[i], i, perplexity, row);
+            for (std::size_t j = 0; j < n; ++j)
+                p[i][j] = row[j];
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double v = (p[i][j] + p[j][i]) /
+                             (2.0 * static_cast<double>(n));
+            p[i][j] = std::max(v, 1e-12);
+            p[j][i] = p[i][j];
+        }
+
+    // Initialize the embedding from PCA plus a little jitter so identical
+    // points separate.
+    const std::size_t out_dim = std::min(config.outputDims, in_dim);
+    auto init = pca(points, out_dim);
+    util::Rng rng(config.seed);
+    std::vector<Point> y(n, Point(config.outputDims, 0.0));
+    // Scale PCA coordinates down to t-SNE's customary 1e-4 init scale.
+    double max_abs = 1e-12;
+    for (const auto &pt : init.projected)
+        for (const auto c : pt)
+            max_abs = std::max(max_abs, std::abs(c));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t d = 0; d < config.outputDims; ++d) {
+            const double base =
+                d < out_dim ? init.projected[i][d] / max_abs * 1e-2 : 0.0;
+            y[i][d] = base + rng.normal(0.0, 1e-4);
+        }
+
+    std::vector<Point> velocity(n, Point(config.outputDims, 0.0));
+    std::vector<Point> gradient(n, Point(config.outputDims, 0.0));
+    std::vector<std::vector<double>> q_num(n, std::vector<double>(n, 0.0));
+
+    const int exaggeration_end = std::max(1, config.iterations / 4);
+    for (int iter = 0; iter < config.iterations; ++iter) {
+        const double exaggeration =
+            iter < exaggeration_end ? config.earlyExaggeration : 1.0;
+        const double momentum =
+            iter < exaggeration_end ? config.initialMomentum : 0.8;
+
+        // Student-t numerators and their total.
+        double q_total = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = i + 1; j < n; ++j) {
+                const double d2 = squaredDistance(y[i], y[j]);
+                const double num = 1.0 / (1.0 + d2);
+                q_num[i][j] = num;
+                q_num[j][i] = num;
+                q_total += 2.0 * num;
+            }
+        q_total = std::max(q_total, 1e-12);
+
+        // Gradient: 4 * sum_j (p_ij - q_ij) * num_ij * (y_i - y_j).
+        for (std::size_t i = 0; i < n; ++i) {
+            std::fill(gradient[i].begin(), gradient[i].end(), 0.0);
+            for (std::size_t j = 0; j < n; ++j) {
+                if (j == i)
+                    continue;
+                const double q_ij =
+                    std::max(q_num[i][j] / q_total, 1e-12);
+                const double mult =
+                    (exaggeration * p[i][j] - q_ij) * q_num[i][j];
+                for (std::size_t d = 0; d < config.outputDims; ++d)
+                    gradient[i][d] += 4.0 * mult * (y[i][d] - y[j][d]);
+            }
+        }
+
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t d = 0; d < config.outputDims; ++d) {
+                velocity[i][d] = momentum * velocity[i][d] -
+                                 config.learningRate * gradient[i][d];
+                y[i][d] += velocity[i][d];
+            }
+
+        // Re-center to keep the embedding from drifting.
+        Point mean(config.outputDims, 0.0);
+        for (const auto &pt : y)
+            for (std::size_t d = 0; d < config.outputDims; ++d)
+                mean[d] += pt[d];
+        for (auto &m : mean)
+            m /= static_cast<double>(n);
+        for (auto &pt : y)
+            for (std::size_t d = 0; d < config.outputDims; ++d)
+                pt[d] -= mean[d];
+    }
+
+    return y;
+}
+
+} // namespace sosim::cluster

@@ -1,0 +1,49 @@
+#ifndef SOSIM_CLUSTER_TSNE_H
+#define SOSIM_CLUSTER_TSNE_H
+
+/**
+ * @file
+ * Exact (O(n^2)) t-SNE (van der Maaten & Hinton, JMLR 2008), used to
+ * reproduce Figure 8: the 2-D projection of service instances embedded in
+ * the asynchrony-score space.  Exact t-SNE is entirely adequate at the
+ * few-thousand-point scale of one datacenter suite.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+
+namespace sosim::cluster {
+
+/** Parameters of a t-SNE run. */
+struct TsneConfig {
+    /** Output dimensionality (2 for Figure 8). */
+    std::size_t outputDims = 2;
+    /** Target perplexity of the input-space Gaussian kernels. */
+    double perplexity = 30.0;
+    /** Gradient-descent iterations. */
+    int iterations = 300;
+    /** Learning rate (eta). */
+    double learningRate = 100.0;
+    /** Early-exaggeration factor applied for the first quarter of steps. */
+    double earlyExaggeration = 4.0;
+    /** Momentum (switches to 0.8 after the early phase). */
+    double initialMomentum = 0.5;
+    /** Seed for the PCA-jitter initialization. */
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Embed high-dimensional points into `config.outputDims` dimensions.
+ *
+ * @param points Input points; all must share one dimensionality.
+ * @param config t-SNE parameters; perplexity is clamped to (n-1)/3.
+ * @return One low-dimensional point per input point, same order.
+ */
+std::vector<Point> tsne(const std::vector<Point> &points,
+                        const TsneConfig &config = {});
+
+} // namespace sosim::cluster
+
+#endif // SOSIM_CLUSTER_TSNE_H

@@ -1,0 +1,77 @@
+#include "asynchrony.h"
+
+#include "util/error.h"
+
+namespace sosim::core {
+
+double
+asynchronyScore(const std::vector<const trace::TimeSeries *> &traces)
+{
+    SOSIM_REQUIRE(!traces.empty(), "asynchronyScore: need traces");
+    double peak_sum = 0.0;
+    for (const auto *t : traces) {
+        SOSIM_REQUIRE(t != nullptr, "asynchronyScore: null trace");
+        peak_sum += t->peak();
+    }
+    const double aggregate_peak = trace::sumSeries(traces).peak();
+    SOSIM_REQUIRE(aggregate_peak > 0.0,
+                  "asynchronyScore: aggregate peak must be positive");
+    return peak_sum / aggregate_peak;
+}
+
+double
+asynchronyScore(const std::vector<trace::TimeSeries> &traces)
+{
+    std::vector<const trace::TimeSeries *> ptrs;
+    ptrs.reserve(traces.size());
+    for (const auto &t : traces)
+        ptrs.push_back(&t);
+    return asynchronyScore(ptrs);
+}
+
+double
+pairAsynchronyScore(const trace::TimeSeries &a, const trace::TimeSeries &b)
+{
+    const double aggregate_peak = (a + b).peak();
+    SOSIM_REQUIRE(aggregate_peak > 0.0,
+                  "pairAsynchronyScore: aggregate peak must be positive");
+    return (a.peak() + b.peak()) / aggregate_peak;
+}
+
+cluster::Point
+scoreVector(const trace::TimeSeries &itrace,
+            const std::vector<trace::TimeSeries> &straces)
+{
+    SOSIM_REQUIRE(!straces.empty(), "scoreVector: need S-traces");
+    cluster::Point v;
+    v.reserve(straces.size());
+    for (const auto &s : straces)
+        v.push_back(pairAsynchronyScore(itrace, s));
+    return v;
+}
+
+std::vector<cluster::Point>
+scoreVectors(const std::vector<trace::TimeSeries> &itraces,
+             const std::vector<trace::TimeSeries> &straces)
+{
+    std::vector<cluster::Point> out;
+    out.reserve(itraces.size());
+    for (const auto &itrace : itraces)
+        out.push_back(scoreVector(itrace, straces));
+    return out;
+}
+
+double
+differentialScore(const trace::TimeSeries &itrace,
+                  const trace::TimeSeries &node_others,
+                  std::size_t other_count)
+{
+    SOSIM_REQUIRE(other_count >= 1,
+                  "differentialScore: need at least one other instance");
+    // PA_{i,N}: the *average* trace of the node's other instances.
+    trace::TimeSeries pa = node_others;
+    pa *= 1.0 / static_cast<double>(other_count);
+    return pairAsynchronyScore(itrace, pa);
+}
+
+} // namespace sosim::core

@@ -1,0 +1,81 @@
+#ifndef SOSIM_CORE_ASYNCHRONY_H
+#define SOSIM_CORE_ASYNCHRONY_H
+
+/**
+ * @file
+ * The asynchrony score (section 3.4 of the paper), SmoothOperator's
+ * measure of how well the peaks of a set of power traces spread out over
+ * time:
+ *
+ *   A_M = f(M) = sum_j peak(P_j) / peak(sum_j P_j)          (Eq. 6)
+ *
+ * A_M is 1.0 when every member peaks simultaneously and approaches |M|
+ * when the members' peaks are perfectly complementary.  Instances are
+ * embedded for clustering as vectors of instance-to-service (I-to-S)
+ * scores against the top power-consumer services' S-traces.
+ */
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "trace/time_series.h"
+
+namespace sosim::core {
+
+/**
+ * Asynchrony score of a set of power traces (Eq. 6).
+ *
+ * @param traces Member traces; all aligned, at least one, and the
+ *               aggregate peak must be positive.
+ * @return Score in [1, |traces|] up to floating-point rounding.
+ */
+double asynchronyScore(const std::vector<const trace::TimeSeries *> &traces);
+
+/** Convenience overload over owned traces. */
+double asynchronyScore(const std::vector<trace::TimeSeries> &traces);
+
+/**
+ * Pairwise asynchrony score between two traces (Eq. 7):
+ * (peak(a) + peak(b)) / peak(a + b).
+ */
+double pairAsynchronyScore(const trace::TimeSeries &a,
+                           const trace::TimeSeries &b);
+
+/**
+ * Instance-to-service asynchrony score vector (section 3.5): element k is
+ * the pairwise score between the instance's averaged I-trace and the k-th
+ * S-trace.  This embeds the instance in a |S|-dimensional space where
+ * synchronous instances land close together.
+ *
+ * @param itrace  The instance's averaged I-trace.
+ * @param straces The S-traces of the top power-consumer services.
+ */
+cluster::Point scoreVector(const trace::TimeSeries &itrace,
+                           const std::vector<trace::TimeSeries> &straces);
+
+/** Score vectors for a whole population of instances. */
+std::vector<cluster::Point>
+scoreVectors(const std::vector<trace::TimeSeries> &itraces,
+             const std::vector<trace::TimeSeries> &straces);
+
+/**
+ * Differential asynchrony score of instance i against power node N
+ * (section 3.6):
+ *
+ *   AD_{i,N} = (peak(PI_i) + peak(PA_{i,N})) / peak(PI_i + PA_{i,N}),
+ *
+ * where PA_{i,N} is the average of the I-traces of N's other instances.
+ * Low AD flags the instance whose peak coincides worst with its node.
+ *
+ * @param itrace      Averaged I-trace of the instance under evaluation.
+ * @param node_others Sum of the averaged I-traces of every *other*
+ *                    instance under the node.
+ * @param other_count Number of other instances (>= 1).
+ */
+double differentialScore(const trace::TimeSeries &itrace,
+                         const trace::TimeSeries &node_others,
+                         std::size_t other_count);
+
+} // namespace sosim::core
+
+#endif // SOSIM_CORE_ASYNCHRONY_H

@@ -1,0 +1,96 @@
+#ifndef SOSIM_CORE_CONSTRAINTS_H
+#define SOSIM_CORE_CONSTRAINTS_H
+
+/**
+ * @file
+ * Operational placement constraints.
+ *
+ * Production placements are never purely power-driven: replicas of one
+ * service must spread across fault domains, and some instances are
+ * pinned to specific racks (special hardware, data locality).  This
+ * module validates and repairs assignments against such constraints so
+ * the workload-aware placement can be deployed without violating them.
+ */
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "power/power_tree.h"
+#include "trace/time_series.h"
+
+namespace sosim::core {
+
+/** Constraint set applied to a placement. */
+struct PlacementConstraints {
+    /**
+     * Maximum instances of one service allowed on a single rack
+     * (anti-affinity / fault-domain spread).  0 disables the limit.
+     */
+    std::size_t maxServiceInstancesPerRack = 0;
+    /**
+     * Maximum instances of one service under a single RPP.  0 disables
+     * the limit.  Must be >= the per-rack limit when both are set.
+     */
+    std::size_t maxServiceInstancesPerRpp = 0;
+    /** Instances pinned to specific racks: (instance, rack). */
+    std::vector<std::pair<std::size_t, power::NodeId>> pinned;
+};
+
+/** One constraint violation, for reporting. */
+struct ConstraintViolation {
+    enum class Kind { RackSpread, RppSpread, Pin };
+    Kind kind = Kind::RackSpread;
+    /** Offending instance (Pin) or service (spread violations). */
+    std::size_t subject = 0;
+    /** Node at which the violation occurs. */
+    power::NodeId node = power::kNoNode;
+    /** Observed count (spread violations). */
+    std::size_t count = 0;
+    /** Human-readable description. */
+    std::string message;
+};
+
+/**
+ * Check an assignment against the constraints.
+ *
+ * @param tree        Power infrastructure.
+ * @param assignment  Placement to check.
+ * @param service_of  Service id of each instance.
+ * @param constraints Constraint set.
+ * @return All violations found (empty = satisfied).
+ */
+std::vector<ConstraintViolation>
+findViolations(const power::PowerTree &tree,
+               const power::Assignment &assignment,
+               const std::vector<std::size_t> &service_of,
+               const PlacementConstraints &constraints);
+
+/**
+ * Repair an assignment in place until it satisfies the constraints.
+ *
+ * Pins are applied first (swapping the pinned instance with an occupant
+ * of the target rack).  Spread violations are then repaired by moving
+ * surplus instances to the feasible rack whose current aggregate trace
+ * is least synchronous with the instance — i.e., the move that damages
+ * the power objective least.
+ *
+ * @param tree        Power infrastructure.
+ * @param assignment  Placement to repair (updated in place).
+ * @param service_of  Service id of each instance.
+ * @param itraces     Averaged I-traces (for damage-aware repair).
+ * @param constraints Constraint set; pinned targets must be racks and
+ *                    the spread limits must be jointly satisfiable.
+ * @return Number of instance moves performed.
+ */
+std::size_t
+enforceConstraints(const power::PowerTree &tree,
+                   power::Assignment &assignment,
+                   const std::vector<std::size_t> &service_of,
+                   const std::vector<trace::TimeSeries> &itraces,
+                   const PlacementConstraints &constraints);
+
+} // namespace sosim::core
+
+#endif // SOSIM_CORE_CONSTRAINTS_H

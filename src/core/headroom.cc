@@ -1,0 +1,49 @@
+#include "headroom.h"
+
+#include "util/error.h"
+
+namespace sosim::core {
+
+const LevelComparison &
+HeadroomReport::at(power::Level level) const
+{
+    for (const auto &lc : levels)
+        if (lc.level == level)
+            return lc;
+    SOSIM_REQUIRE(false, "HeadroomReport::at: level not present");
+}
+
+double
+HeadroomReport::extraServerFraction(power::Level level) const
+{
+    const auto &lc = at(level);
+    SOSIM_REQUIRE(lc.optimizedSumPeaks > 0.0,
+                  "extraServerFraction: optimized peaks must be positive");
+    return lc.baselineSumPeaks / lc.optimizedSumPeaks - 1.0;
+}
+
+HeadroomReport
+comparePlacements(const power::PowerTree &tree,
+                  const std::vector<trace::TimeSeries> &itraces,
+                  const power::Assignment &baseline,
+                  const power::Assignment &optimized)
+{
+    const auto base_traces = tree.aggregateTraces(itraces, baseline);
+    const auto opt_traces = tree.aggregateTraces(itraces, optimized);
+
+    HeadroomReport report;
+    for (const auto level : power::kAllLevels) {
+        LevelComparison lc;
+        lc.level = level;
+        lc.baselineSumPeaks = tree.sumOfPeaks(base_traces, level);
+        lc.optimizedSumPeaks = tree.sumOfPeaks(opt_traces, level);
+        SOSIM_ASSERT(lc.baselineSumPeaks > 0.0,
+                     "comparePlacements: zero baseline peaks");
+        lc.peakReductionFraction =
+            1.0 - lc.optimizedSumPeaks / lc.baselineSumPeaks;
+        report.levels.push_back(lc);
+    }
+    return report;
+}
+
+} // namespace sosim::core

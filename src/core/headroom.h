@@ -1,0 +1,65 @@
+#ifndef SOSIM_CORE_HEADROOM_H
+#define SOSIM_CORE_HEADROOM_H
+
+/**
+ * @file
+ * Headroom accounting: converting the peak-power reductions achieved by
+ * workload-aware placement into the number of extra servers the same
+ * power infrastructure can host (section 5.2.1: RPP-level peak reduction
+ * "directly translates to the percentage of extra servers").
+ */
+
+#include <vector>
+
+#include "power/level.h"
+#include "power/power_tree.h"
+#include "trace/time_series.h"
+
+namespace sosim::core {
+
+/** Per-level comparison of two placements over one power tree. */
+struct LevelComparison {
+    power::Level level = power::Level::Rpp;
+    /** Sum of per-node peaks under the baseline placement. */
+    double baselineSumPeaks = 0.0;
+    /** Sum of per-node peaks under the optimized placement. */
+    double optimizedSumPeaks = 0.0;
+    /** 1 - optimized/baseline. */
+    double peakReductionFraction = 0.0;
+};
+
+/** Result of comparing a baseline and an optimized placement. */
+struct HeadroomReport {
+    /** One entry per tree level, root first. */
+    std::vector<LevelComparison> levels;
+
+    /** Comparison at a specific level (must exist). */
+    const LevelComparison &at(power::Level level) const;
+
+    /**
+     * Fraction of extra servers the optimized placement can host at the
+     * given level under the baseline's peak-provisioned budgets:
+     * baseline_sum_peaks / optimized_sum_peaks - 1.  The paper quotes
+     * this at the RPP level ("up to 13% more machines").
+     */
+    double extraServerFraction(power::Level level = power::Level::Rpp) const;
+};
+
+/**
+ * Compare two placements of the same instances on the same tree.
+ *
+ * @param tree      Power infrastructure.
+ * @param itraces   Evaluation traces of every instance (the paper uses
+ *                  the held-out test week here).
+ * @param baseline  Baseline (e.g. oblivious) placement.
+ * @param optimized Workload-aware placement.
+ */
+HeadroomReport
+comparePlacements(const power::PowerTree &tree,
+                  const std::vector<trace::TimeSeries> &itraces,
+                  const power::Assignment &baseline,
+                  const power::Assignment &optimized);
+
+} // namespace sosim::core
+
+#endif // SOSIM_CORE_HEADROOM_H

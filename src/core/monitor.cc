@@ -1,0 +1,82 @@
+#include "monitor.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sosim::core {
+
+std::string
+monitorActionName(MonitorAction action)
+{
+    switch (action) {
+      case MonitorAction::None:
+        return "none";
+      case MonitorAction::Remap:
+        return "remap";
+      case MonitorAction::Replace:
+        return "replace";
+    }
+    return "?";
+}
+
+FragmentationMonitor::FragmentationMonitor(const power::PowerTree &tree,
+                                           MonitorConfig config)
+    : tree_(tree), config_(config)
+{
+    SOSIM_REQUIRE(config.baselineWindowWeeks >= 1,
+                  "FragmentationMonitor: window must be >= 1 week");
+    SOSIM_REQUIRE(config.remapThreshold >= 0.0 &&
+                      config.replaceThreshold >= config.remapThreshold,
+                  "FragmentationMonitor: thresholds must satisfy "
+                  "0 <= remap <= replace");
+    SOSIM_REQUIRE(config.level != power::Level::Datacenter,
+                  "FragmentationMonitor: the DC level is placement-"
+                  "invariant; watch a lower level");
+}
+
+MonitorObservation
+FragmentationMonitor::observeWeek(
+    const std::vector<trace::TimeSeries> &itraces,
+    const power::Assignment &assignment)
+{
+    const auto node_traces = tree_.aggregateTraces(itraces, assignment);
+
+    MonitorObservation obs;
+    obs.week = weekCounter_++;
+    obs.sumOfPeaks = tree_.sumOfPeaks(node_traces, config_.level);
+    obs.rootPeak = node_traces[tree_.root()].peak();
+    SOSIM_ASSERT(obs.rootPeak > 0.0,
+                 "FragmentationMonitor: zero root peak");
+    obs.fragmentationRatio = obs.sumOfPeaks / obs.rootPeak;
+
+    if (window_.empty()) {
+        obs.action = MonitorAction::None;
+    } else {
+        const double baseline =
+            *std::min_element(window_.begin(), window_.end());
+        const double degradation =
+            obs.fragmentationRatio / baseline - 1.0;
+        if (degradation >= config_.replaceThreshold)
+            obs.action = MonitorAction::Replace;
+        else if (degradation >= config_.remapThreshold)
+            obs.action = MonitorAction::Remap;
+        else
+            obs.action = MonitorAction::None;
+    }
+
+    window_.push_back(obs.fragmentationRatio);
+    while (window_.size() > config_.baselineWindowWeeks)
+        window_.pop_front();
+
+    history_.push_back(obs);
+    return obs;
+}
+
+void
+FragmentationMonitor::placementUpdated()
+{
+    window_.clear();
+}
+
+} // namespace sosim::core

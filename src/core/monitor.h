@@ -1,0 +1,123 @@
+#ifndef SOSIM_CORE_MONITOR_H
+#define SOSIM_CORE_MONITOR_H
+
+/**
+ * @file
+ * Continuous fragmentation monitoring (section 3.6, operationalized).
+ *
+ * "Our framework continuously records the I-traces and the S-traces, and
+ * dynamically re-evaluates the severity of the fragmentation problem by
+ * monitoring the sum of peaks of power traces at each level of power
+ * infrastructure."
+ *
+ * The monitor ingests one week of I-traces at a time, tracks the
+ * per-level sum of peaks of the current placement against the best
+ * placement seen, and recommends an action: nothing, incremental
+ * remapping, or a full re-placement.
+ */
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "power/power_tree.h"
+#include "trace/time_series.h"
+
+namespace sosim::core {
+
+/** What the monitor recommends after an observation. */
+enum class MonitorAction {
+    /** Placement quality is within tolerance of its baseline. */
+    None,
+    /** Mild degradation: run the swap-based Remapper. */
+    Remap,
+    /** Severe degradation: derive a fresh placement. */
+    Replace,
+};
+
+/** Printable action name. */
+std::string monitorActionName(MonitorAction action);
+
+/** One week's evaluation record. */
+struct MonitorObservation {
+    /** Week index (0-based ingestion order). */
+    std::size_t week = 0;
+    /** Sum of per-node peaks at the watched level. */
+    double sumOfPeaks = 0.0;
+    /** Placement-invariant reference: the root (DC) peak. */
+    double rootPeak = 0.0;
+    /**
+     * Fragmentation ratio: sumOfPeaks / rootPeak.  Normalizing by the
+     * root peak cancels overall traffic growth, isolating placement
+     * quality drift from load drift.
+     */
+    double fragmentationRatio = 0.0;
+    MonitorAction action = MonitorAction::None;
+};
+
+/** Monitor configuration. */
+struct MonitorConfig {
+    /** Level whose sum of peaks is watched (leaf-most reported level). */
+    power::Level level = power::Level::Rpp;
+    /** Weeks kept in the sliding baseline window. */
+    std::size_t baselineWindowWeeks = 4;
+    /** Relative ratio degradation that triggers a remap. */
+    double remapThreshold = 0.02;
+    /** Relative ratio degradation that triggers a full re-place. */
+    double replaceThreshold = 0.08;
+};
+
+/**
+ * Tracks placement quality over successive weeks of telemetry.
+ */
+class FragmentationMonitor
+{
+  public:
+    /**
+     * @param tree   Power infrastructure (not owned).
+     * @param config Thresholds and window length.
+     */
+    FragmentationMonitor(const power::PowerTree &tree,
+                         MonitorConfig config = {});
+
+    /**
+     * Ingest one week of I-traces for the current placement and obtain
+     * a recommendation.
+     *
+     * The baseline is the minimum fragmentation ratio over the sliding
+     * window; an observation whose ratio exceeds the baseline by the
+     * configured thresholds triggers Remap / Replace.
+     *
+     * @param itraces    This week's I-trace of every instance.
+     * @param assignment The placement currently deployed.
+     */
+    MonitorObservation
+    observeWeek(const std::vector<trace::TimeSeries> &itraces,
+                const power::Assignment &assignment);
+
+    /**
+     * Tell the monitor the placement was re-derived: the baseline
+     * window resets so old ratios do not mask the new placement.
+     */
+    void placementUpdated();
+
+    /** All observations so far, oldest first. */
+    const std::vector<MonitorObservation> &history() const
+    {
+        return history_;
+    }
+
+    const MonitorConfig &config() const { return config_; }
+
+  private:
+    const power::PowerTree &tree_;
+    MonitorConfig config_;
+    std::deque<double> window_;
+    std::vector<MonitorObservation> history_;
+    std::size_t weekCounter_ = 0;
+};
+
+} // namespace sosim::core
+
+#endif // SOSIM_CORE_MONITOR_H

@@ -1,0 +1,150 @@
+#include "placement.h"
+
+#include <algorithm>
+
+#include "core/asynchrony.h"
+#include "core/service_traces.h"
+#include "util/error.h"
+
+namespace sosim::core {
+
+PlacementEngine::PlacementEngine(const power::PowerTree &tree,
+                                 PlacementConfig config)
+    : tree_(tree), config_(config)
+{
+    SOSIM_REQUIRE(config.topServices >= 1,
+                  "PlacementEngine: topServices must be >= 1");
+    SOSIM_REQUIRE(config.clustersPerChild >= 1,
+                  "PlacementEngine: clustersPerChild must be >= 1");
+}
+
+power::Assignment
+PlacementEngine::place(const std::vector<trace::TimeSeries> &itraces,
+                       const std::vector<std::size_t> &service_of) const
+{
+    SOSIM_REQUIRE(!itraces.empty(), "PlacementEngine::place: no instances");
+    SOSIM_REQUIRE(service_of.size() == itraces.size(),
+                  "PlacementEngine::place: service_of size mismatch");
+
+    const auto straces =
+        extractServiceTraces(itraces, service_of, config_.topServices);
+    const auto vectors = scoreVectors(itraces, straces.straces);
+
+    std::vector<std::size_t> ids(itraces.size());
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        ids[i] = i;
+
+    power::Assignment assignment(itraces.size(), power::kNoNode);
+    distribute(vectors, std::move(ids), tree_.root(), assignment,
+               config_.seed);
+    for (const auto rack : assignment)
+        SOSIM_ASSERT(rack != power::kNoNode,
+                     "PlacementEngine::place: unassigned instance");
+    return assignment;
+}
+
+void
+PlacementEngine::placeSubtree(const std::vector<trace::TimeSeries> &itraces,
+                              const std::vector<std::size_t> &service_of,
+                              power::Assignment &assignment,
+                              power::NodeId subtree) const
+{
+    SOSIM_REQUIRE(assignment.size() == itraces.size(),
+                  "placeSubtree: assignment size mismatch");
+    SOSIM_REQUIRE(service_of.size() == itraces.size(),
+                  "placeSubtree: service_of size mismatch");
+
+    // Collect the instances currently placed under the subtree.
+    const auto subtree_racks = tree_.racksUnder(subtree);
+    std::vector<bool> in_subtree(tree_.nodeCount(), false);
+    for (const auto rack : subtree_racks)
+        in_subtree[rack] = true;
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < assignment.size(); ++i)
+        if (assignment[i] != power::kNoNode && in_subtree[assignment[i]])
+            ids.push_back(i);
+    SOSIM_REQUIRE(!ids.empty(), "placeSubtree: subtree hosts no instances");
+
+    // S-traces are extracted from the subtree's own population, mirroring
+    // the paper's Figure 9 experiment.
+    std::vector<trace::TimeSeries> sub_traces;
+    std::vector<std::size_t> sub_service;
+    sub_traces.reserve(ids.size());
+    for (const auto i : ids) {
+        sub_traces.push_back(itraces[i]);
+        sub_service.push_back(service_of[i]);
+    }
+    const auto straces =
+        extractServiceTraces(sub_traces, sub_service, config_.topServices);
+    const auto sub_vectors = scoreVectors(sub_traces, straces.straces);
+
+    // distribute() indexes vectors by instance id; scatter the subtree's
+    // vectors into a full-size table.
+    std::vector<cluster::Point> vectors(itraces.size());
+    for (std::size_t k = 0; k < ids.size(); ++k)
+        vectors[ids[k]] = sub_vectors[k];
+
+    distribute(vectors, std::move(ids), subtree, assignment,
+               config_.seed ^ (subtree * 0x9e3779b9ULL));
+}
+
+void
+PlacementEngine::distribute(const std::vector<cluster::Point> &vectors,
+                            std::vector<std::size_t> ids,
+                            power::NodeId node,
+                            power::Assignment &assignment,
+                            std::uint64_t seed) const
+{
+    const auto &n = tree_.node(node);
+    if (n.level == power::Level::Rack) {
+        for (const auto i : ids)
+            assignment[i] = node;
+        return;
+    }
+    const std::size_t q = n.children.size();
+    SOSIM_ASSERT(q >= 1, "distribute: interior node without children");
+
+    std::vector<std::vector<std::size_t>> per_child(q);
+
+    if (ids.size() <= q) {
+        // Degenerate split: fewer instances than children.
+        for (std::size_t k = 0; k < ids.size(); ++k)
+            per_child[k % q].push_back(ids[k]);
+    } else {
+        // Cluster this population into h = q * clustersPerChild groups of
+        // synchronous instances, then deal each cluster's members across
+        // the children round-robin (with a per-cluster starting offset so
+        // remainders spread evenly).
+        std::vector<cluster::Point> points;
+        points.reserve(ids.size());
+        for (const auto i : ids)
+            points.push_back(vectors[i]);
+
+        cluster::KMeansConfig kc;
+        kc.k = std::min(ids.size(), q * config_.clustersPerChild);
+        kc.restarts = config_.kmeansRestarts;
+        kc.maxIterations = config_.kmeansMaxIterations;
+        kc.seed = seed;
+        auto result = cluster::kMeans(points, kc);
+        if (config_.balanceClusters)
+            cluster::equalizeClusterSizes(points, result);
+
+        std::vector<std::vector<std::size_t>> clusters(kc.k);
+        for (std::size_t k = 0; k < ids.size(); ++k)
+            clusters[result.assignment[k]].push_back(ids[k]);
+
+        for (std::size_t c = 0; c < clusters.size(); ++c)
+            for (std::size_t m = 0; m < clusters[c].size(); ++m)
+                per_child[(m + c) % q].push_back(clusters[c][m]);
+    }
+
+    for (std::size_t child = 0; child < q; ++child) {
+        if (per_child[child].empty())
+            continue;
+        distribute(vectors, std::move(per_child[child]),
+                   n.children[child], assignment,
+                   seed + child + 1);
+    }
+}
+
+} // namespace sosim::core

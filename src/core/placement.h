@@ -1,0 +1,99 @@
+#ifndef SOSIM_CORE_PLACEMENT_H
+#define SOSIM_CORE_PLACEMENT_H
+
+/**
+ * @file
+ * The workload-aware service instance placement framework (section 3.5):
+ *
+ *   1. Extract S-traces of the top power-consumer services.
+ *   2. Embed every instance as its asynchrony-score vector.
+ *   3. Per tree level, k-means-cluster the instances reaching that level
+ *      into h clusters (h a multiple of the node's fan-out q) to identify
+ *      synchronous groups.
+ *   4. Deal each cluster's members round-robin across the children, so
+ *      synchronous instances spread out; recurse to the rack level.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "power/power_tree.h"
+#include "trace/time_series.h"
+
+namespace sosim::core {
+
+/** Parameters of the placement framework. */
+struct PlacementConfig {
+    /** Number of S-traces to extract (|B| in the paper). */
+    std::size_t topServices = 10;
+    /** Clusters per child: h = q * clustersPerChild at each node. */
+    std::size_t clustersPerChild = 2;
+    /** Rebalance clusters to equal sizes before dealing (paper: "each of
+     *  these clusters have the same number of instances"). */
+    bool balanceClusters = true;
+    /** K-means restarts at every node split. */
+    int kmeansRestarts = 2;
+    /** Maximum Lloyd iterations per k-means run. */
+    int kmeansMaxIterations = 50;
+    /** Seed for the clustering. */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Derives workload-aware placements of service instances onto the racks
+ * of a power tree.
+ */
+class PlacementEngine
+{
+  public:
+    /**
+     * @param tree   The power infrastructure (not owned; must outlive the
+     *               engine).
+     * @param config Algorithm parameters.
+     */
+    PlacementEngine(const power::PowerTree &tree, PlacementConfig config);
+
+    /**
+     * Compute a placement for the full datacenter.
+     *
+     * @param itraces    Averaged (training) I-trace of every instance.
+     * @param service_of Service id of each instance.
+     * @return Rack assignment of every instance.
+     */
+    power::Assignment
+    place(const std::vector<trace::TimeSeries> &itraces,
+          const std::vector<std::size_t> &service_of) const;
+
+    /**
+     * Re-place only the instances of a subtree, leaving the rest of an
+     * existing assignment untouched (used by Figure 9: optimizing the
+     * subtree under one mid-level node without moving instances in or
+     * out of it).
+     *
+     * @param itraces    Averaged I-trace of every instance.
+     * @param service_of Service id of each instance.
+     * @param assignment Existing placement, updated in place.
+     * @param subtree    Node whose subtree is re-optimized.
+     */
+    void
+    placeSubtree(const std::vector<trace::TimeSeries> &itraces,
+                 const std::vector<std::size_t> &service_of,
+                 power::Assignment &assignment,
+                 power::NodeId subtree) const;
+
+    const PlacementConfig &config() const { return config_; }
+
+  private:
+    void distribute(const std::vector<cluster::Point> &vectors,
+                    std::vector<std::size_t> ids, power::NodeId node,
+                    power::Assignment &assignment,
+                    std::uint64_t seed) const;
+
+    const power::PowerTree &tree_;
+    PlacementConfig config_;
+};
+
+} // namespace sosim::core
+
+#endif // SOSIM_CORE_PLACEMENT_H

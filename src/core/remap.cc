@@ -1,0 +1,220 @@
+#include "remap.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/asynchrony.h"
+#include "util/error.h"
+
+namespace sosim::core {
+
+namespace {
+
+/** Mutable per-rack state kept while searching for swaps. */
+struct RackState {
+    std::vector<std::size_t> members;
+    trace::TimeSeries aggregate;
+    double peakSum = 0.0; // Sum of member peaks.
+};
+
+double
+rackAsynchrony(const RackState &rack)
+{
+    if (rack.members.empty())
+        return 0.0;
+    const double aggregate_peak = rack.aggregate.peak();
+    if (aggregate_peak <= 0.0)
+        return 0.0;
+    return rack.peakSum / aggregate_peak;
+}
+
+/**
+ * Differential asynchrony score of a candidate trace against a rack's
+ * other members (Eq. in section 3.6), where `others` is the rack's
+ * aggregate minus the member itself when evaluating a current member, or
+ * the full aggregate when evaluating an incoming instance.
+ */
+double
+diffScore(const trace::TimeSeries &candidate,
+          const trace::TimeSeries &others, std::size_t other_count)
+{
+    if (other_count == 0)
+        return 2.0; // Joining an empty rack can never clash.
+    return differentialScore(candidate, others, other_count);
+}
+
+} // namespace
+
+Remapper::Remapper(const power::PowerTree &tree, RemapConfig config)
+    : tree_(tree), config_(config)
+{
+    SOSIM_REQUIRE(config.maxSwaps >= 0, "Remapper: maxSwaps must be >= 0");
+    SOSIM_REQUIRE(config.candidatesPerRound >= 1,
+                  "Remapper: candidatesPerRound must be >= 1");
+}
+
+std::vector<double>
+Remapper::rackScores(const power::Assignment &assignment,
+                     const std::vector<trace::TimeSeries> &itraces) const
+{
+    SOSIM_REQUIRE(assignment.size() == itraces.size(),
+                  "Remapper::rackScores: size mismatch");
+    std::vector<double> scores(tree_.nodeCount(), 0.0);
+    const auto per_rack = tree_.instancesPerRack(assignment);
+    for (const auto rack : tree_.racks()) {
+        const auto &members = per_rack[rack];
+        if (members.empty())
+            continue;
+        std::vector<const trace::TimeSeries *> traces;
+        traces.reserve(members.size());
+        for (const auto i : members)
+            traces.push_back(&itraces[i]);
+        scores[rack] = asynchronyScore(traces);
+    }
+    return scores;
+}
+
+std::vector<SwapRecord>
+Remapper::refine(power::Assignment &assignment,
+                 const std::vector<trace::TimeSeries> &itraces) const
+{
+    SOSIM_REQUIRE(assignment.size() == itraces.size(),
+                  "Remapper::refine: size mismatch");
+
+    // Build per-rack state.
+    std::vector<RackState> racks(tree_.nodeCount());
+    const auto per_rack = tree_.instancesPerRack(assignment);
+    for (const auto rack : tree_.racks()) {
+        auto &state = racks[rack];
+        state.members = per_rack[rack];
+        if (state.members.empty())
+            continue;
+        state.aggregate =
+            trace::TimeSeries::zeros(itraces.front().size(),
+                                     itraces.front().intervalMinutes());
+        for (const auto i : state.members) {
+            state.aggregate += itraces[i];
+            state.peakSum += itraces[i].peak();
+        }
+    }
+
+    std::vector<SwapRecord> swaps;
+    std::vector<power::NodeId> tried;
+    while (static_cast<int>(swaps.size()) < config_.maxSwaps) {
+        // 1. Most fragmented rack not yet exhausted this pass.
+        power::NodeId worst_rack = power::kNoNode;
+        double worst_score = std::numeric_limits<double>::max();
+        for (const auto rack : tree_.racks()) {
+            if (racks[rack].members.size() < 2)
+                continue;
+            if (std::find(tried.begin(), tried.end(), rack) != tried.end())
+                continue;
+            const double score = rackAsynchrony(racks[rack]);
+            if (score < worst_score) {
+                worst_score = score;
+                worst_rack = rack;
+            }
+        }
+        if (worst_rack == power::kNoNode)
+            break; // Every rack tried without an accepted swap.
+
+        auto &rack_a = racks[worst_rack];
+
+        // 2. Members with the worst differential asynchrony scores.
+        std::vector<std::pair<double, std::size_t>> scored;
+        scored.reserve(rack_a.members.size());
+        for (const auto i : rack_a.members) {
+            const trace::TimeSeries others = rack_a.aggregate - itraces[i];
+            scored.emplace_back(
+                diffScore(itraces[i], others, rack_a.members.size() - 1),
+                i);
+        }
+        std::sort(scored.begin(), scored.end());
+        const std::size_t candidates =
+            std::min(config_.candidatesPerRound, scored.size());
+
+        // 3. Best improving swap across all other racks.
+        SwapRecord best;
+        double best_gain = 0.0;
+        std::size_t best_b_pos = 0;
+        for (std::size_t c = 0; c < candidates; ++c) {
+            const std::size_t inst_a = scored[c].second;
+            const double score_a_before = scored[c].first;
+            const trace::TimeSeries others_a =
+                rack_a.aggregate - itraces[inst_a];
+
+            for (const auto rack_b_id : tree_.racks()) {
+                if (rack_b_id == worst_rack)
+                    continue;
+                auto &rack_b = racks[rack_b_id];
+                if (rack_b.members.empty())
+                    continue;
+                for (std::size_t pos_b = 0; pos_b < rack_b.members.size();
+                     ++pos_b) {
+                    const std::size_t inst_b = rack_b.members[pos_b];
+                    const trace::TimeSeries others_b =
+                        rack_b.aggregate - itraces[inst_b];
+                    const double score_b_before =
+                        diffScore(itraces[inst_b], others_b,
+                                  rack_b.members.size() - 1);
+                    // Post-swap: B joins A's others, A joins B's others.
+                    const double score_a_after =
+                        diffScore(itraces[inst_b], others_a,
+                                  rack_a.members.size() - 1);
+                    const double score_b_after =
+                        diffScore(itraces[inst_a], others_b,
+                                  rack_b.members.size() - 1);
+                    // Accept only swaps improving both nodes (paper rule).
+                    if (score_a_after <= score_a_before ||
+                        score_b_after <= score_b_before) {
+                        continue;
+                    }
+                    const double gain = (score_a_after - score_a_before) +
+                                        (score_b_after - score_b_before);
+                    if (gain > best_gain) {
+                        best_gain = gain;
+                        best.instanceA = inst_a;
+                        best.instanceB = inst_b;
+                        best.rackA = worst_rack;
+                        best.rackB = rack_b_id;
+                        best.scoreAtABefore = score_a_before;
+                        best.scoreAtAAfter = score_a_after;
+                        best.scoreAtBBefore = score_b_before;
+                        best.scoreAtBAfter = score_b_after;
+                        best_b_pos = pos_b;
+                    }
+                }
+            }
+        }
+        if (best_gain > 0.0) {
+            // Apply the swap and update both racks' state.
+            auto &rack_b = racks[best.rackB];
+            auto it_a = std::find(rack_a.members.begin(),
+                                  rack_a.members.end(), best.instanceA);
+            SOSIM_ASSERT(it_a != rack_a.members.end(),
+                         "Remapper: lost swap candidate A");
+            *it_a = best.instanceB;
+            rack_b.members[best_b_pos] = best.instanceA;
+
+            rack_a.aggregate -= itraces[best.instanceA];
+            rack_a.aggregate += itraces[best.instanceB];
+            rack_a.peakSum += itraces[best.instanceB].peak() -
+                              itraces[best.instanceA].peak();
+            rack_b.aggregate -= itraces[best.instanceB];
+            rack_b.aggregate += itraces[best.instanceA];
+            rack_b.peakSum += itraces[best.instanceA].peak() -
+                              itraces[best.instanceB].peak();
+
+            assignment[best.instanceA] = best.rackB;
+            assignment[best.instanceB] = best.rackA;
+            swaps.push_back(best);
+            tried.clear();
+        } else {
+            // No improving swap out of this rack; look at the next one.
+            tried.push_back(worst_rack);
+        }
+    }
+    return swaps;
+}
+
+} // namespace sosim::core

@@ -1,0 +1,81 @@
+#ifndef SOSIM_CORE_REMAP_H
+#define SOSIM_CORE_REMAP_H
+
+/**
+ * @file
+ * Incremental remapping (section 3.6): when mid-/long-term workload drift
+ * makes the current placement suboptimal, SmoothOperator finds the power
+ * node with the most severe fragmentation (lowest asynchrony score),
+ * identifies the member with the worst differential asynchrony score, and
+ * swaps it with an instance of another node — accepting the swap only
+ * when it raises the differential asynchrony scores at *both* nodes.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "power/power_tree.h"
+#include "trace/time_series.h"
+
+namespace sosim::core {
+
+/** Parameters of the swap-based refinement. */
+struct RemapConfig {
+    /** Upper bound on accepted swaps per refine() call. */
+    int maxSwaps = 64;
+    /** How many of the worst-scoring members of the fragmented node are
+     *  considered as swap-out candidates each round. */
+    std::size_t candidatesPerRound = 4;
+};
+
+/** One accepted swap, for reporting. */
+struct SwapRecord {
+    std::size_t instanceA = 0;
+    std::size_t instanceB = 0;
+    power::NodeId rackA = power::kNoNode;
+    power::NodeId rackB = power::kNoNode;
+    /** Differential score of A at rackA before, and of B at rackA after. */
+    double scoreAtABefore = 0.0;
+    double scoreAtAAfter = 0.0;
+    /** Differential score of B at rackB before, and of A at rackB after. */
+    double scoreAtBBefore = 0.0;
+    double scoreAtBAfter = 0.0;
+};
+
+/** Swap-based incremental placement refinement. */
+class Remapper
+{
+  public:
+    /**
+     * @param tree   The power infrastructure (not owned).
+     * @param config Refinement parameters.
+     */
+    Remapper(const power::PowerTree &tree, RemapConfig config = {});
+
+    /**
+     * Refine an assignment in place against (possibly drifted) I-traces.
+     *
+     * @param assignment Placement to refine; updated in place.
+     * @param itraces    Current averaged I-traces of every instance.
+     * @return The accepted swaps, in order.
+     */
+    std::vector<SwapRecord>
+    refine(power::Assignment &assignment,
+           const std::vector<trace::TimeSeries> &itraces) const;
+
+    /**
+     * Asynchrony score of each rack under an assignment (1-member racks
+     * score |members| = 1 by definition; empty racks score 0).
+     */
+    std::vector<double>
+    rackScores(const power::Assignment &assignment,
+               const std::vector<trace::TimeSeries> &itraces) const;
+
+  private:
+    const power::PowerTree &tree_;
+    RemapConfig config_;
+};
+
+} // namespace sosim::core
+
+#endif // SOSIM_CORE_REMAP_H

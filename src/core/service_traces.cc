@@ -1,0 +1,70 @@
+#include "service_traces.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+
+namespace sosim::core {
+
+trace::TimeSeries
+serviceTrace(const std::vector<trace::TimeSeries> &itraces,
+             const std::vector<std::size_t> &members)
+{
+    SOSIM_REQUIRE(!members.empty(), "serviceTrace: need members");
+    trace::TimeSeries acc =
+        trace::TimeSeries::zeros(itraces.front().size(),
+                                 itraces.front().intervalMinutes());
+    for (const auto i : members) {
+        SOSIM_REQUIRE(i < itraces.size(),
+                      "serviceTrace: member index out of range");
+        acc += itraces[i];
+    }
+    acc *= 1.0 / static_cast<double>(members.size());
+    return acc;
+}
+
+ServiceTraceSet
+extractServiceTraces(const std::vector<trace::TimeSeries> &itraces,
+                     const std::vector<std::size_t> &service_of,
+                     std::size_t top_m)
+{
+    SOSIM_REQUIRE(!itraces.empty(), "extractServiceTraces: need instances");
+    SOSIM_REQUIRE(service_of.size() == itraces.size(),
+                  "extractServiceTraces: service_of must cover instances");
+    SOSIM_REQUIRE(top_m >= 1, "extractServiceTraces: top_m must be >= 1");
+
+    // Group instances by service id (ordered map for determinism).
+    std::map<std::size_t, std::vector<std::size_t>> members;
+    for (std::size_t i = 0; i < itraces.size(); ++i)
+        members[service_of[i]].push_back(i);
+
+    // Rank services by aggregate average power.
+    struct Ranked {
+        std::size_t serviceId;
+        double aggregatePower;
+        trace::TimeSeries strace;
+    };
+    std::vector<Ranked> ranked;
+    ranked.reserve(members.size());
+    for (const auto &[sid, idx] : members) {
+        trace::TimeSeries s = serviceTrace(itraces, idx);
+        const double aggregate =
+            s.mean() * static_cast<double>(idx.size());
+        ranked.push_back({sid, aggregate, std::move(s)});
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const Ranked &a, const Ranked &b) {
+                         return a.aggregatePower > b.aggregatePower;
+                     });
+
+    ServiceTraceSet out;
+    const std::size_t keep = std::min(top_m, ranked.size());
+    for (std::size_t r = 0; r < keep; ++r) {
+        out.straces.push_back(std::move(ranked[r].strace));
+        out.serviceIds.push_back(ranked[r].serviceId);
+    }
+    return out;
+}
+
+} // namespace sosim::core

@@ -1,0 +1,58 @@
+#ifndef SOSIM_CORE_SERVICE_TRACES_H
+#define SOSIM_CORE_SERVICE_TRACES_H
+
+/**
+ * @file
+ * Service power trace (S-trace) extraction, section 3.3 of the paper.
+ *
+ * The S-trace of service Y is the mean of the averaged I-traces of Y's
+ * instances (Eq. 5).  SmoothOperator extracts S-traces for the top
+ * power-consuming services and uses them as the basis against which every
+ * instance's asynchrony-score vector is computed.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/time_series.h"
+
+namespace sosim::core {
+
+/** S-traces of the top power-consumer services. */
+struct ServiceTraceSet {
+    /** One S-trace per selected service, ordered by descending power. */
+    std::vector<trace::TimeSeries> straces;
+    /** The service id behind each S-trace (same order). */
+    std::vector<std::size_t> serviceIds;
+};
+
+/**
+ * Build the S-trace of one service: the mean of its instances' averaged
+ * I-traces (Eq. 5).
+ *
+ * @param itraces    Averaged I-traces of all instances.
+ * @param members    Indices of the service's instances (non-empty).
+ */
+trace::TimeSeries serviceTrace(const std::vector<trace::TimeSeries> &itraces,
+                               const std::vector<std::size_t> &members);
+
+/**
+ * Extract S-traces for the top-m power-consumer services.
+ *
+ * Services are ranked by their aggregate average power (instance count
+ * times mean of the S-trace), matching the paper's "top power-consumer
+ * services" selection.
+ *
+ * @param itraces    Averaged I-trace of each instance.
+ * @param service_of Service id of each instance (parallel to itraces).
+ * @param top_m      Number of services to keep; clamped to the number of
+ *                   distinct services present.
+ */
+ServiceTraceSet
+extractServiceTraces(const std::vector<trace::TimeSeries> &itraces,
+                     const std::vector<std::size_t> &service_of,
+                     std::size_t top_m);
+
+} // namespace sosim::core
+
+#endif // SOSIM_CORE_SERVICE_TRACES_H

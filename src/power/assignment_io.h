@@ -1,0 +1,42 @@
+#ifndef SOSIM_POWER_ASSIGNMENT_IO_H
+#define SOSIM_POWER_ASSIGNMENT_IO_H
+
+/**
+ * @file
+ * CSV import/export of placements, so an optimized assignment can be
+ * handed to (or loaded from) an external deployment system:
+ *
+ *   instance,rack
+ *   0,suite0/msb0/sb0/rpp0/rack0
+ *   1,suite0/msb0/sb0/rpp0/rack1
+ *   ...
+ */
+
+#include <iosfwd>
+#include <string>
+
+#include "power/power_tree.h"
+
+namespace sosim::power {
+
+/** Write an assignment as instance,rack-name CSV rows. */
+void writeAssignmentCsv(std::ostream &os, const PowerTree &tree,
+                        const Assignment &assignment);
+
+/**
+ * Parse an assignment CSV against a tree.
+ *
+ * Instances may appear in any order but must form a dense 0..n-1 range;
+ * rack names must exist in the tree and be rack-level nodes.
+ */
+Assignment readAssignmentCsv(std::istream &is, const PowerTree &tree);
+
+/** File-path convenience wrappers. */
+void writeAssignmentCsvFile(const std::string &path, const PowerTree &tree,
+                            const Assignment &assignment);
+Assignment readAssignmentCsvFile(const std::string &path,
+                                 const PowerTree &tree);
+
+} // namespace sosim::power
+
+#endif // SOSIM_POWER_ASSIGNMENT_IO_H

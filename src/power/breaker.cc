@@ -1,0 +1,48 @@
+#include "breaker.h"
+
+#include "util/error.h"
+
+namespace sosim::power {
+
+BreakerModel::BreakerModel(double budget, int trip_after_minutes)
+    : budget_(budget), tripAfterMinutes_(trip_after_minutes)
+{
+    SOSIM_REQUIRE(budget > 0.0, "BreakerModel: budget must be positive");
+    SOSIM_REQUIRE(trip_after_minutes >= 0,
+                  "BreakerModel: trip delay must be non-negative");
+}
+
+std::optional<std::size_t>
+BreakerModel::firstTripIndex(const trace::TimeSeries &node_trace) const
+{
+    const int interval = node_trace.intervalMinutes();
+    // Number of consecutive over-budget samples that constitutes a
+    // sustained overload of at least tripAfterMinutes_.
+    const std::size_t need = tripAfterMinutes_ == 0
+        ? 1
+        : static_cast<std::size_t>(
+              (tripAfterMinutes_ + interval - 1) / interval);
+
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < node_trace.size(); ++i) {
+        if (node_trace[i] > budget_) {
+            if (++run >= need)
+                return i;
+        } else {
+            run = 0;
+        }
+    }
+    return std::nullopt;
+}
+
+std::size_t
+BreakerModel::overloadSamples(const trace::TimeSeries &node_trace) const
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < node_trace.size(); ++i)
+        if (node_trace[i] > budget_)
+            ++count;
+    return count;
+}
+
+} // namespace sosim::power

@@ -1,0 +1,59 @@
+#ifndef SOSIM_POWER_BREAKER_H
+#define SOSIM_POWER_BREAKER_H
+
+/**
+ * @file
+ * Circuit breaker model.  Section 2.2: "When the aggregate power at a
+ * power node exceeds the power budget of that node, after a short amount
+ * of time, the circuit breaker is tripped and the power supply for the
+ * entire subtree is shut down."  We model that "short amount of time" as
+ * a configurable number of consecutive over-budget samples.
+ */
+
+#include <optional>
+
+#include "trace/time_series.h"
+
+namespace sosim::power {
+
+/** Trip behaviour of the breaker guarding one power node. */
+class BreakerModel
+{
+  public:
+    /**
+     * @param budget              The node's power budget.
+     * @param trip_after_minutes  Sustained overload duration that trips
+     *                            the breaker.  Zero trips on the first
+     *                            over-budget sample.
+     */
+    BreakerModel(double budget, int trip_after_minutes = 0);
+
+    /** The guarded budget. */
+    double budget() const { return budget_; }
+
+    /**
+     * Scan an aggregate power trace and report the first trip.
+     *
+     * @return The sample index at which the breaker trips, or nullopt if
+     *         the trace never sustains an overload long enough.
+     */
+    std::optional<std::size_t>
+    firstTripIndex(const trace::TimeSeries &node_trace) const;
+
+    /** True when the trace would trip this breaker at some point. */
+    bool wouldTrip(const trace::TimeSeries &node_trace) const
+    {
+        return firstTripIndex(node_trace).has_value();
+    }
+
+    /** Number of over-budget samples in the trace (trip or not). */
+    std::size_t overloadSamples(const trace::TimeSeries &node_trace) const;
+
+  private:
+    double budget_;
+    int tripAfterMinutes_;
+};
+
+} // namespace sosim::power
+
+#endif // SOSIM_POWER_BREAKER_H

@@ -1,0 +1,42 @@
+#include "level.h"
+
+#include "util/error.h"
+
+namespace sosim::power {
+
+std::string
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Datacenter:
+        return "DC";
+      case Level::Suite:
+        return "SUITE";
+      case Level::Msb:
+        return "MSB";
+      case Level::Sb:
+        return "SB";
+      case Level::Rpp:
+        return "RPP";
+      case Level::Rack:
+        return "RACK";
+    }
+    SOSIM_ASSERT(false, "levelName: invalid level");
+}
+
+Level
+levelBelow(Level level)
+{
+    SOSIM_REQUIRE(level != Level::Rack, "levelBelow: Rack is the leaf level");
+    return static_cast<Level>(static_cast<int>(level) + 1);
+}
+
+Level
+levelAbove(Level level)
+{
+    SOSIM_REQUIRE(level != Level::Datacenter,
+                  "levelAbove: Datacenter is the root level");
+    return static_cast<Level>(static_cast<int>(level) - 1);
+}
+
+} // namespace sosim::power

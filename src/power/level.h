@@ -1,0 +1,54 @@
+#ifndef SOSIM_POWER_LEVEL_H
+#define SOSIM_POWER_LEVEL_H
+
+/**
+ * @file
+ * Levels of the multi-level power delivery infrastructure (Figure 2 of the
+ * paper): datacenter -> suite -> main switching board (MSB) -> switching
+ * board (SB) -> reactive power panel (RPP) -> rack.  Servers attach to
+ * racks, the leaf power nodes.
+ */
+
+#include <array>
+#include <string>
+
+namespace sosim::power {
+
+/** A level in the power delivery tree, ordered from root to leaf. */
+enum class Level : int {
+    Datacenter = 0,
+    Suite = 1,
+    Msb = 2,
+    Sb = 3,
+    Rpp = 4,
+    Rack = 5,
+};
+
+/** Number of levels in the tree. */
+inline constexpr int kNumLevels = 6;
+
+/** All levels, root first. */
+inline constexpr std::array<Level, kNumLevels> kAllLevels = {
+    Level::Datacenter, Level::Suite, Level::Msb,
+    Level::Sb,         Level::Rpp,   Level::Rack,
+};
+
+/** Human-readable level name ("DC", "SUITE", "MSB", "SB", "RPP", "RACK"). */
+std::string levelName(Level level);
+
+/** The level immediately below (towards the leaves); requires not Rack. */
+Level levelBelow(Level level);
+
+/** The level immediately above (towards the root); requires not DC. */
+Level levelAbove(Level level);
+
+/** Integer depth of a level (Datacenter = 0). */
+inline int
+levelDepth(Level level)
+{
+    return static_cast<int>(level);
+}
+
+} // namespace sosim::power
+
+#endif // SOSIM_POWER_LEVEL_H

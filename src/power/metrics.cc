@@ -1,0 +1,58 @@
+#include "metrics.h"
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace sosim::power {
+
+trace::TimeSeries
+powerSlack(const trace::TimeSeries &node_trace, double budget)
+{
+    SOSIM_REQUIRE(budget > 0.0, "powerSlack: budget must be positive");
+    std::vector<double> out(node_trace.size());
+    for (std::size_t i = 0; i < node_trace.size(); ++i)
+        out[i] = budget - node_trace[i];
+    return trace::TimeSeries(std::move(out), node_trace.intervalMinutes());
+}
+
+double
+energySlack(const trace::TimeSeries &node_trace, double budget)
+{
+    return powerSlack(node_trace, budget).integralMinutes();
+}
+
+double
+averagePowerSlack(const trace::TimeSeries &node_trace, double budget)
+{
+    return powerSlack(node_trace, budget).mean();
+}
+
+double
+offPeakPowerSlack(const trace::TimeSeries &node_trace, double budget,
+                  double offpeak_quantile)
+{
+    SOSIM_REQUIRE(offpeak_quantile > 0.0 && offpeak_quantile <= 1.0,
+                  "offPeakPowerSlack: quantile must be in (0, 1]");
+    const double cutoff = node_trace.percentile(offpeak_quantile * 100.0);
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < node_trace.size(); ++i) {
+        if (node_trace[i] <= cutoff) {
+            acc += budget - node_trace[i];
+            ++count;
+        }
+    }
+    SOSIM_ASSERT(count > 0, "offPeakPowerSlack: no off-peak samples");
+    return acc / static_cast<double>(count);
+}
+
+double
+peakHeadroomFraction(const trace::TimeSeries &node_trace, double budget)
+{
+    SOSIM_REQUIRE(budget > 0.0,
+                  "peakHeadroomFraction: budget must be positive");
+    return (budget - node_trace.peak()) / budget;
+}
+
+} // namespace sosim::power

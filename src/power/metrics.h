@@ -1,0 +1,59 @@
+#ifndef SOSIM_POWER_METRICS_H
+#define SOSIM_POWER_METRICS_H
+
+/**
+ * @file
+ * Power budget utilization metrics from section 2.2 of the paper:
+ * power slack (Eq. 1), energy slack (Eq. 2), and headroom accounting.
+ */
+
+#include "trace/time_series.h"
+
+namespace sosim::power {
+
+/**
+ * Power slack series: P_slack,t = P_budget - P_instant,t (Eq. 1).
+ *
+ * @param node_trace Aggregate power trace at a node.
+ * @param budget     The node's fixed power budget; must cover the peak
+ *                   (negative slack would mean a tripped breaker).
+ */
+trace::TimeSeries powerSlack(const trace::TimeSeries &node_trace,
+                             double budget);
+
+/**
+ * Energy slack over the trace's timespan: the integral of power slack
+ * (Eq. 2), in (power units x minutes).
+ */
+double energySlack(const trace::TimeSeries &node_trace, double budget);
+
+/**
+ * Average power slack over the trace's timespan, in power units.
+ */
+double averagePowerSlack(const trace::TimeSeries &node_trace, double budget);
+
+/**
+ * Average power slack restricted to off-peak samples.  A sample is
+ * off-peak when the aggregate power is below `offpeak_quantile` of the
+ * trace's own range (Figure 14 reports off-peak slack reduction
+ * separately because that is where reshaping recovers the most energy).
+ *
+ * @param node_trace       Aggregate power trace at a node.
+ * @param budget           The node's power budget.
+ * @param offpeak_quantile Samples with power below this quantile of the
+ *                         trace count as off-peak (default: lower half).
+ */
+double offPeakPowerSlack(const trace::TimeSeries &node_trace, double budget,
+                         double offpeak_quantile = 0.5);
+
+/**
+ * Relative peak headroom: (budget - peak) / budget.  The fraction of the
+ * budget never used even at the worst minute; this is what placement
+ * optimization converts into extra servers.
+ */
+double peakHeadroomFraction(const trace::TimeSeries &node_trace,
+                            double budget);
+
+} // namespace sosim::power
+
+#endif // SOSIM_POWER_METRICS_H

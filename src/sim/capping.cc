@@ -1,0 +1,118 @@
+#include "capping.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sosim::sim {
+
+CappingReport
+evaluateCapping(const power::PowerTree &tree,
+                const std::vector<trace::TimeSeries> &itraces,
+                const power::Assignment &assignment,
+                const std::vector<CapClass> &cap_class,
+                const std::vector<double> &budgets, power::Level level,
+                const CappingConfig &config)
+{
+    SOSIM_REQUIRE(!itraces.empty(), "evaluateCapping: no instances");
+    SOSIM_REQUIRE(assignment.size() == itraces.size() &&
+                      cap_class.size() == itraces.size(),
+                  "evaluateCapping: size mismatch");
+    SOSIM_REQUIRE(budgets.size() == tree.nodeCount(),
+                  "evaluateCapping: need one budget per node");
+    SOSIM_REQUIRE(config.maxBatchShave >= 0.0 &&
+                      config.maxBatchShave <= 1.0 &&
+                      config.maxStorageShave >= 0.0 &&
+                      config.maxStorageShave <= 1.0 &&
+                      config.maxLcShave >= 0.0 &&
+                      config.maxLcShave <= 1.0,
+                  "evaluateCapping: shave limits must be in [0, 1]");
+
+    const auto &proto = itraces.front();
+    const int interval = proto.intervalMinutes();
+
+    // Per-class aggregate power under every node at the target level.
+    // Compute per-rack first, then roll racks up into the level nodes.
+    const std::size_t samples = proto.size();
+    struct ClassAgg {
+        trace::TimeSeries batch, storage, lc;
+    };
+    std::vector<ClassAgg> agg(tree.nodeCount());
+    for (const auto id : tree.nodesAtLevel(level)) {
+        agg[id].batch = trace::TimeSeries::zeros(samples, interval);
+        agg[id].storage = trace::TimeSeries::zeros(samples, interval);
+        agg[id].lc = trace::TimeSeries::zeros(samples, interval);
+    }
+
+    // Map each rack to its ancestor at `level`.
+    std::vector<power::NodeId> ancestor(tree.nodeCount(), power::kNoNode);
+    for (const auto id : tree.nodesAtLevel(level))
+        for (const auto rack : tree.racksUnder(id))
+            ancestor[rack] = id;
+
+    for (std::size_t i = 0; i < itraces.size(); ++i) {
+        SOSIM_REQUIRE(itraces[i].alignedWith(proto),
+                      "evaluateCapping: misaligned traces");
+        const power::NodeId node = ancestor[assignment[i]];
+        SOSIM_ASSERT(node != power::kNoNode,
+                     "evaluateCapping: rack without level ancestor");
+        switch (cap_class[i]) {
+          case CapClass::Batch:
+            agg[node].batch += itraces[i];
+            break;
+          case CapClass::Storage:
+            agg[node].storage += itraces[i];
+            break;
+          case CapClass::LatencyCritical:
+            agg[node].lc += itraces[i];
+            break;
+        }
+    }
+
+    CappingReport report;
+    for (const auto id : tree.nodesAtLevel(level)) {
+        const double budget = budgets[id];
+        if (budget <= 0.0)
+            continue; // Unbudgeted node: nothing to enforce.
+        NodeCappingStats stats;
+        stats.node = id;
+        for (std::size_t t = 0; t < samples; ++t) {
+            const double batch = agg[id].batch[t];
+            const double storage = agg[id].storage[t];
+            const double lc = agg[id].lc[t];
+            double over = batch + storage + lc - budget;
+            if (over <= 0.0)
+                continue;
+            ++stats.overloadSamples;
+
+            const double batch_shave =
+                std::min(over, batch * config.maxBatchShave);
+            over -= batch_shave;
+            stats.batchCurtailed += batch_shave * interval;
+
+            const double storage_shave =
+                std::min(over, storage * config.maxStorageShave);
+            over -= storage_shave;
+            stats.storageCurtailed += storage_shave * interval;
+
+            const double lc_shave =
+                std::min(over, lc * config.maxLcShave);
+            over -= lc_shave;
+            stats.lcCurtailed += lc_shave * interval;
+
+            if (over > 1e-12)
+                ++stats.unresolvedSamples;
+        }
+        if (stats.overloadSamples == 0)
+            continue;
+        report.batchCurtailed += stats.batchCurtailed;
+        report.storageCurtailed += stats.storageCurtailed;
+        report.lcCurtailed += stats.lcCurtailed;
+        report.overloadSamples += stats.overloadSamples;
+        report.unresolvedSamples += stats.unresolvedSamples;
+        report.perNode.push_back(std::move(stats));
+    }
+    return report;
+}
+
+} // namespace sosim::sim

@@ -1,0 +1,103 @@
+#ifndef SOSIM_SIM_CAPPING_H
+#define SOSIM_SIM_CAPPING_H
+
+/**
+ * @file
+ * Hierarchical, priority-aware power capping.
+ *
+ * The paper's introduction argues that capping solutions (Dynamo [51],
+ * SHIP [50], ...) are the standard answer to Challenge 1 but are crippled
+ * by power budget fragmentation: a leaf node hosting only synchronous
+ * latency-critical instances must cap LC work even while sibling nodes
+ * sit on unused budget.  This module reproduces that mechanism: per-node
+ * budgets, batch-first capping, LC capped only as a last resort, and
+ * accounting of the curtailed energy per class — so the benches can show
+ * how much less capping the workload-aware placement needs.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "power/power_tree.h"
+#include "trace/time_series.h"
+
+namespace sosim::sim {
+
+/** Capping priority class of an instance (lower = capped first). */
+enum class CapClass {
+    Batch = 0,          ///< Capped first (throughput impact only).
+    Storage = 1,        ///< Capped next (delays backups).
+    LatencyCritical = 2 ///< Capped last (QoS violation).
+};
+
+/** Parameters of the capper. */
+struct CappingConfig {
+    /**
+     * Fraction of a class's power that capping can remove at a node
+     * (DVFS floor): capping Batch at 0.4 can shave at most 40% of the
+     * Batch power under the node at that minute.
+     */
+    double maxBatchShave = 0.40;
+    double maxStorageShave = 0.25;
+    double maxLcShave = 0.20;
+};
+
+/** Per-node capping outcome over the evaluated trace window. */
+struct NodeCappingStats {
+    power::NodeId node = power::kNoNode;
+    /** Samples at which the node exceeded its budget pre-capping. */
+    std::size_t overloadSamples = 0;
+    /** Samples at which capping could not reach the budget at all. */
+    std::size_t unresolvedSamples = 0;
+    /** Energy removed from each class (power units x minutes). */
+    double batchCurtailed = 0.0;
+    double storageCurtailed = 0.0;
+    double lcCurtailed = 0.0;
+};
+
+/** Aggregate capping outcome. */
+struct CappingReport {
+    std::vector<NodeCappingStats> perNode;
+    /** Totals across all capped nodes. */
+    double batchCurtailed = 0.0;
+    double storageCurtailed = 0.0;
+    double lcCurtailed = 0.0;
+    std::size_t overloadSamples = 0;
+    std::size_t unresolvedSamples = 0;
+
+    /** Total curtailed energy across classes. */
+    double
+    totalCurtailed() const
+    {
+        return batchCurtailed + storageCurtailed + lcCurtailed;
+    }
+};
+
+/**
+ * Evaluate capping at one level of the power tree.
+ *
+ * For every node at `level`, the per-class aggregate power under the
+ * node is computed from the placement; whenever the total exceeds the
+ * node's budget, the overage is shaved Batch -> Storage -> LC, bounded
+ * by each class's shave limit.
+ *
+ * @param tree        Power infrastructure.
+ * @param itraces     Power trace of every instance.
+ * @param assignment  Placement.
+ * @param cap_class   Capping class of every instance.
+ * @param budgets     Budget of every node (indexed by NodeId); nodes at
+ *                    other levels are ignored.
+ * @param level       Level at which breakers and budgets live.
+ * @param config      Shave limits.
+ */
+CappingReport
+evaluateCapping(const power::PowerTree &tree,
+                const std::vector<trace::TimeSeries> &itraces,
+                const power::Assignment &assignment,
+                const std::vector<CapClass> &cap_class,
+                const std::vector<double> &budgets, power::Level level,
+                const CappingConfig &config = {});
+
+} // namespace sosim::sim
+
+#endif // SOSIM_SIM_CAPPING_H

@@ -1,0 +1,61 @@
+#include "conversion.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sosim::sim {
+
+ConversionPolicy::ConversionPolicy(const trace::TimeSeries &training_load,
+                                   ConversionConfig config)
+    : config_(config)
+{
+    SOSIM_REQUIRE(!training_load.empty(),
+                  "ConversionPolicy: empty training load");
+    SOSIM_REQUIRE(config.enterMargin >= 0.0 && config.enterMargin < 1.0,
+                  "ConversionPolicy: enterMargin must be in [0, 1)");
+    SOSIM_REQUIRE(config.hysteresisWidth >= 0.0,
+                  "ConversionPolicy: hysteresisWidth must be >= 0");
+    SOSIM_REQUIRE(config.conversionDelaySteps >= 1,
+                  "ConversionPolicy: conversionDelaySteps must be >= 1");
+    // The guarded load level: the highest per-server load at which LC met
+    // QoS during the training window (the fleet was provisioned so that
+    // the historical peak was safe).
+    lConv_ = training_load.peak();
+    SOSIM_REQUIRE(lConv_ > 0.0,
+                  "ConversionPolicy: training load peak must be positive");
+}
+
+void
+ConversionPolicy::reset()
+{
+    target_ = Phase::BatchHeavy;
+    effective_ = Phase::BatchHeavy;
+    lcFraction_ = 0.0;
+}
+
+Phase
+ConversionPolicy::step(double original_lc_load)
+{
+    const double enter = lConv_ * (1.0 - config_.enterMargin);
+    const double leave =
+        lConv_ * (1.0 - config_.enterMargin - config_.hysteresisWidth);
+
+    if (target_ == Phase::BatchHeavy && original_lc_load >= enter)
+        target_ = Phase::LcHeavy;
+    else if (target_ == Phase::LcHeavy && original_lc_load < leave)
+        target_ = Phase::BatchHeavy;
+
+    // Conversions complete over conversionDelaySteps steps.
+    const double rate =
+        1.0 / static_cast<double>(config_.conversionDelaySteps);
+    if (target_ == Phase::LcHeavy)
+        lcFraction_ = std::min(1.0, lcFraction_ + rate);
+    else
+        lcFraction_ = std::max(0.0, lcFraction_ - rate);
+
+    effective_ = lcFraction_ > 0.5 ? Phase::LcHeavy : Phase::BatchHeavy;
+    return effective_;
+}
+
+} // namespace sosim::sim

@@ -1,0 +1,91 @@
+#ifndef SOSIM_SIM_CONVERSION_H
+#define SOSIM_SIM_CONVERSION_H
+
+/**
+ * @file
+ * History-based server conversion policy (section 4.2).
+ *
+ * The policy learns a guarded per-LC-server load level L_conv from the
+ * training week (the load at which LC still met QoS historically), then
+ * at runtime classifies each step as Batch-heavy (average LC load over
+ * the original LC servers below L_conv: conversion servers run Batch) or
+ * LC-heavy (load approaching L_conv: conversion servers flip to LC).
+ * A small hysteresis band prevents flapping, and conversions take a
+ * configurable number of steps to complete.
+ */
+
+#include <cstddef>
+
+#include "trace/time_series.h"
+
+namespace sosim::sim {
+
+/** Datacenter phase as defined by the conversion policy. */
+enum class Phase {
+    BatchHeavy,
+    LcHeavy,
+};
+
+/** Parameters of the conversion policy. */
+struct ConversionConfig {
+    /**
+     * Margin below the learned guarded load at which conversion to LC is
+     * triggered ("when this average LC load increases to a level close
+     * to L_conv"): enter LC-heavy at L_conv * (1 - enterMargin).
+     */
+    double enterMargin = 0.05;
+    /** Hysteresis: leave LC-heavy at L_conv * (1 - enterMargin - width). */
+    double hysteresisWidth = 0.03;
+    /** Steps a conversion takes to complete (role-flip latency). */
+    int conversionDelaySteps = 1;
+};
+
+/** The history-based conversion policy. */
+class ConversionPolicy
+{
+  public:
+    /**
+     * Learn L_conv from the training week.
+     *
+     * @param training_load Per-LC-server load trace of the training week
+     *                      (original servers, original traffic).
+     * @param config        Policy parameters.
+     */
+    ConversionPolicy(const trace::TimeSeries &training_load,
+                     ConversionConfig config = {});
+
+    /** The learned guarded load level. */
+    double conversionThreshold() const { return lConv_; }
+
+    /** Reset runtime state (phase and pending conversions). */
+    void reset();
+
+    /**
+     * Advance one step.
+     *
+     * @param original_lc_load Average load the *original* LC fleet would
+     *                         see at this step (demand / N_lc).
+     * @return The phase in effect for this step.
+     */
+    Phase step(double original_lc_load);
+
+    /** Phase currently in effect. */
+    Phase phase() const { return effective_; }
+
+    /**
+     * Fraction of conversion servers currently serving LC (ramps over
+     * conversionDelaySteps when the phase flips).
+     */
+    double lcFraction() const { return lcFraction_; }
+
+  private:
+    double lConv_;
+    ConversionConfig config_;
+    Phase target_ = Phase::BatchHeavy;
+    Phase effective_ = Phase::BatchHeavy;
+    double lcFraction_ = 0.0;
+};
+
+} // namespace sosim::sim
+
+#endif // SOSIM_SIM_CONVERSION_H

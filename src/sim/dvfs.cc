@@ -1,0 +1,50 @@
+#include "dvfs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sosim::sim {
+
+DvfsModel::DvfsModel(double idle_fraction, double exponent,
+                     double min_frequency, double max_frequency)
+    : idleFraction_(idle_fraction), exponent_(exponent),
+      minFrequency_(min_frequency), maxFrequency_(max_frequency)
+{
+    SOSIM_REQUIRE(idle_fraction >= 0.0 && idle_fraction < 1.0,
+                  "DvfsModel: idle fraction must be in [0, 1)");
+    SOSIM_REQUIRE(exponent >= 1.0, "DvfsModel: exponent must be >= 1");
+    SOSIM_REQUIRE(min_frequency > 0.0 && min_frequency <= 1.0,
+                  "DvfsModel: min frequency must be in (0, 1]");
+    SOSIM_REQUIRE(max_frequency >= 1.0,
+                  "DvfsModel: max frequency must be >= 1");
+}
+
+double
+DvfsModel::powerAt(double frequency) const
+{
+    const double f =
+        std::clamp(frequency, minFrequency_, maxFrequency_);
+    return idleFraction_ + (1.0 - idleFraction_) * std::pow(f, exponent_);
+}
+
+double
+DvfsModel::throughputAt(double frequency) const
+{
+    return std::clamp(frequency, minFrequency_, maxFrequency_);
+}
+
+double
+DvfsModel::frequencyForPower(double power) const
+{
+    if (power >= powerAt(maxFrequency_))
+        return maxFrequency_;
+    if (power <= powerAt(minFrequency_))
+        return minFrequency_;
+    const double dynamic =
+        (power - idleFraction_) / (1.0 - idleFraction_);
+    return std::pow(dynamic, 1.0 / exponent_);
+}
+
+} // namespace sosim::sim

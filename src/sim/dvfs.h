@@ -1,0 +1,56 @@
+#ifndef SOSIM_SIM_DVFS_H
+#define SOSIM_SIM_DVFS_H
+
+/**
+ * @file
+ * First-order DVFS model for Batch servers: throughput scales linearly
+ * with frequency while dynamic power scales near-cubically.  The paper's
+ * proactive throttling and boosting policy (section 4.2) trades Batch
+ * frequency against power headroom; only the relative power/throughput
+ * deltas matter for the evaluation, which this model captures.
+ */
+
+namespace sosim::sim {
+
+/** Normalized frequency/power/throughput model of one server. */
+class DvfsModel
+{
+  public:
+    /**
+     * @param idle_fraction Fraction of max power drawn at zero load.
+     * @param exponent      Dynamic-power exponent in frequency (~3 for
+     *                      voltage-frequency scaling).
+     * @param min_frequency Lowest supported normalized frequency.
+     * @param max_frequency Highest supported normalized frequency (boost
+     *                      ceiling), >= 1.
+     */
+    explicit DvfsModel(double idle_fraction = 0.45, double exponent = 3.0,
+                       double min_frequency = 0.5,
+                       double max_frequency = 1.2);
+
+    /** Normalized power at frequency f (power at f=1 is 1.0). */
+    double powerAt(double frequency) const;
+
+    /** Normalized throughput at frequency f (throughput at f=1 is 1.0). */
+    double throughputAt(double frequency) const;
+
+    /**
+     * Largest supported frequency whose power does not exceed `power`.
+     * Clamped into [minFrequency, maxFrequency].
+     */
+    double frequencyForPower(double power) const;
+
+    double idleFraction() const { return idleFraction_; }
+    double minFrequency() const { return minFrequency_; }
+    double maxFrequency() const { return maxFrequency_; }
+
+  private:
+    double idleFraction_;
+    double exponent_;
+    double minFrequency_;
+    double maxFrequency_;
+};
+
+} // namespace sosim::sim
+
+#endif // SOSIM_SIM_DVFS_H

@@ -1,0 +1,66 @@
+#include "esd.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sosim::sim {
+
+EsdOutcome
+evaluateEsd(const trace::TimeSeries &node_trace, double budget,
+            const BatteryConfig &config)
+{
+    SOSIM_REQUIRE(!node_trace.empty(), "evaluateEsd: empty trace");
+    SOSIM_REQUIRE(budget > 0.0, "evaluateEsd: budget must be positive");
+    SOSIM_REQUIRE(config.capacityPowerMinutes > 0.0,
+                  "evaluateEsd: capacity must be positive");
+    SOSIM_REQUIRE(config.maxDischargeRate > 0.0 &&
+                      config.maxChargeRate >= 0.0,
+                  "evaluateEsd: rates must be positive");
+    SOSIM_REQUIRE(config.efficiency > 0.0 && config.efficiency <= 1.0,
+                  "evaluateEsd: efficiency must be in (0, 1]");
+    SOSIM_REQUIRE(config.initialChargeFraction >= 0.0 &&
+                      config.initialChargeFraction <= 1.0,
+                  "evaluateEsd: initial charge must be in [0, 1]");
+
+    const double minutes =
+        static_cast<double>(node_trace.intervalMinutes());
+    double charge =
+        config.capacityPowerMinutes * config.initialChargeFraction;
+
+    EsdOutcome outcome;
+    outcome.firstFailure = node_trace.size();
+    outcome.minStateOfCharge = charge / config.capacityPowerMinutes;
+
+    for (std::size_t t = 0; t < node_trace.size(); ++t) {
+        const double power = node_trace[t];
+        if (power > budget) {
+            const double need = power - budget;
+            const double deliverable = std::min(
+                {need, config.maxDischargeRate, charge / minutes});
+            charge -= deliverable * minutes;
+            outcome.energyDischarged += deliverable * minutes;
+            if (deliverable + 1e-12 < need) {
+                ++outcome.failedSamples;
+                if (outcome.survived) {
+                    outcome.survived = false;
+                    outcome.firstFailure = t;
+                }
+            }
+        } else {
+            const double room =
+                config.capacityPowerMinutes - charge;
+            const double intake =
+                std::min({budget - power, config.maxChargeRate,
+                          room / (minutes * config.efficiency)});
+            charge += intake * config.efficiency * minutes;
+            charge = std::min(charge, config.capacityPowerMinutes);
+        }
+        outcome.minStateOfCharge =
+            std::min(outcome.minStateOfCharge,
+                     charge / config.capacityPowerMinutes);
+    }
+    return outcome;
+}
+
+} // namespace sosim::sim

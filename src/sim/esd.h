@@ -1,0 +1,69 @@
+#ifndef SOSIM_SIM_ESD_H
+#define SOSIM_SIM_ESD_H
+
+/**
+ * @file
+ * Energy storage device (battery / distributed UPS) model.
+ *
+ * Related-work comparator: proposals such as DistributedUPS [Kontorinis
+ * et al., ISCA'12] ride out peaks by discharging batteries.  The paper
+ * argues (sections 1 and 6) that battery capacity only covers peaks of
+ * at most tens of minutes, while Facebook-type diurnal peaks last hours
+ * — and that unbalanced placements deplete the ESDs at exactly the
+ * fragmented nodes.  This model lets the benches quantify that claim.
+ */
+
+#include <cstddef>
+
+#include "trace/time_series.h"
+
+namespace sosim::sim {
+
+/** Battery bank attached to one power node. */
+struct BatteryConfig {
+    /**
+     * Usable energy, in (power units x minutes).  E.g. a bank able to
+     * sustain a 1.0-power-unit overage for 10 minutes has capacity 10.
+     */
+    double capacityPowerMinutes = 10.0;
+    /** Maximum discharge rate, in power units. */
+    double maxDischargeRate = 1.0;
+    /** Maximum recharge rate, in power units. */
+    double maxChargeRate = 0.5;
+    /** Round-trip efficiency applied while charging. */
+    double efficiency = 0.9;
+    /** Initial state of charge as a fraction of capacity. */
+    double initialChargeFraction = 1.0;
+};
+
+/** Result of riding a node's trace on a battery bank. */
+struct EsdOutcome {
+    /** True when every over-budget sample was fully covered. */
+    bool survived = true;
+    /** Samples whose overage the battery could not (fully) cover. */
+    std::size_t failedSamples = 0;
+    /** First failed sample, or the trace size if none. */
+    std::size_t firstFailure = 0;
+    /** Lowest state of charge reached (fraction of capacity). */
+    double minStateOfCharge = 1.0;
+    /** Total energy discharged (power units x minutes). */
+    double energyDischarged = 0.0;
+};
+
+/**
+ * Simulate a battery bank covering a node's over-budget power.
+ *
+ * At each sample, power above the budget is served from the battery
+ * (bounded by the discharge rate and remaining charge); power below the
+ * budget recharges it (bounded by the charge rate and efficiency).
+ *
+ * @param node_trace Aggregate power trace at the node.
+ * @param budget     The node's power budget.
+ * @param config     Battery parameters.
+ */
+EsdOutcome evaluateEsd(const trace::TimeSeries &node_trace, double budget,
+                       const BatteryConfig &config);
+
+} // namespace sosim::sim
+
+#endif // SOSIM_SIM_ESD_H

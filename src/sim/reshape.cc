@@ -1,0 +1,338 @@
+#include "reshape.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sosim::sim {
+
+std::string
+reshapeModeName(ReshapeMode mode)
+{
+    switch (mode) {
+      case ReshapeMode::PreSmoothOperator:
+        return "Pre-SmoothOperator";
+      case ReshapeMode::AddLcOnly:
+        return "Add-LC-only";
+      case ReshapeMode::Conversion:
+        return "Server Conversion";
+      case ReshapeMode::ConversionThrottleBoost:
+        return "Conversion + Throttle/Boost";
+    }
+    return "?";
+}
+
+ReshapeSimulator::ReshapeSimulator(ReshapeInputs inputs,
+                                   ReshapeConfig config)
+    : inputs_(std::move(inputs)), config_(config)
+{
+    SOSIM_REQUIRE(inputs_.lcServers > 0,
+                  "ReshapeSimulator: need LC servers");
+    SOSIM_REQUIRE(inputs_.trainingLoad.alignedWith(inputs_.testLoad),
+                  "ReshapeSimulator: training/test load misaligned");
+    SOSIM_REQUIRE(inputs_.otherPower.alignedWith(inputs_.testLoad),
+                  "ReshapeSimulator: other-power trace misaligned");
+    SOSIM_REQUIRE(inputs_.headroomFraction >= 0.0,
+                  "ReshapeSimulator: headroom must be non-negative");
+    SOSIM_REQUIRE(inputs_.lcIdleFraction >= 0.0 &&
+                      inputs_.lcIdleFraction < 1.0,
+                  "ReshapeSimulator: LC idle fraction must be in [0, 1)");
+    SOSIM_REQUIRE(config_.throttleFrequency > 0.0 &&
+                      config_.throttleFrequency <= 1.0,
+                  "ReshapeSimulator: throttle frequency must be in (0, 1]");
+    SOSIM_REQUIRE(config_.boostMaxFrequency >= 1.0,
+                  "ReshapeSimulator: boost ceiling must be >= 1");
+}
+
+ReshapeResult
+ReshapeSimulator::run() const
+{
+    const std::size_t n = inputs_.testLoad.size();
+    const int interval = inputs_.testLoad.intervalMinutes();
+    const double n_lc = static_cast<double>(inputs_.lcServers);
+    const double n_batch = static_cast<double>(inputs_.batchServers);
+
+    auto lc_server_power = [&](double load) {
+        return inputs_.lcIdleFraction +
+               (1.0 - inputs_.lcIdleFraction) * std::min(load, 1.0);
+    };
+
+    ReshapeResult result;
+
+    // ---- Pre-SmoothOperator week -------------------------------------
+    std::vector<double> load_pre(n), lc_thr_pre(n), batch_thr_pre(n),
+        power_pre(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        const double demand = n_lc * inputs_.testLoad[t];
+        const double per_load = std::min(demand / n_lc, 1.0);
+        load_pre[t] = per_load;
+        lc_thr_pre[t] = std::min(demand, n_lc);
+        batch_thr_pre[t] = n_batch; // f = 1.0 everywhere.
+        power_pre[t] = n_lc * lc_server_power(per_load) +
+                       n_batch * inputs_.batchDvfs.powerAt(1.0) +
+                       inputs_.otherPower[t];
+    }
+    result.perLcLoadPre = trace::TimeSeries(load_pre, interval);
+    result.lcThroughputPre = trace::TimeSeries(lc_thr_pre, interval);
+    result.batchThroughputPre = trace::TimeSeries(batch_thr_pre, interval);
+    result.dcPowerPre = trace::TimeSeries(power_pre, interval);
+
+    // The root budget: fragmentation made `headroom` of it unusable, so
+    // the pre-optimization peak sat below the budget by that fraction.
+    result.budget =
+        result.dcPowerPre.peak() * (1.0 + inputs_.headroomFraction);
+
+    // ---- Sizing of the post-optimization fleet ------------------------
+    const bool throttle_boost =
+        config_.mode == ReshapeMode::ConversionThrottleBoost;
+    if (throttle_boost && inputs_.batchServers > 0) {
+        // Power freed at the worst minute by throttling every Batch
+        // server funds the extra tranche e_th of conversion servers.
+        const double freed =
+            n_batch * (inputs_.batchDvfs.powerAt(1.0) -
+                       inputs_.batchDvfs.powerAt(config_.throttleFrequency));
+        const double lc_peak_power = lc_server_power(1.0);
+        result.throttleExtraServers = static_cast<std::size_t>(
+            std::floor(freed / lc_peak_power));
+    }
+
+    // Traffic growth the datacenter absorbs: the unlocked headroom by
+    // default (the paper sizes added traffic to added capacity), plus
+    // whatever the throttling-funded servers can serve on top.
+    const double base_growth = config_.trafficGrowth >= 0.0
+        ? config_.trafficGrowth
+        : inputs_.headroomFraction;
+    const double growth =
+        base_growth + static_cast<double>(result.throttleExtraServers) /
+                          n_lc;
+
+    // Headroom-funded servers: enough conversion (or LC-only) capacity
+    // to keep the grown peak at the guarded load level.
+    result.extraServers =
+        static_cast<std::size_t>(std::ceil(base_growth * n_lc));
+
+    if (config_.mode == ReshapeMode::PreSmoothOperator) {
+        // Post == pre; metrics stay at zero.
+        result.perLcLoadPost = result.perLcLoadPre;
+        result.lcThroughputPost = result.lcThroughputPre;
+        result.batchThroughputPost = result.batchThroughputPre;
+        result.dcPowerPost = result.dcPowerPre;
+        ConversionPolicy policy(inputs_.trainingLoad, config_.conversion);
+        result.conversionThreshold = policy.conversionThreshold();
+        return result;
+    }
+
+    // ---- Post-SmoothOperator week -------------------------------------
+    ConversionPolicy policy(inputs_.trainingLoad, config_.conversion);
+    result.conversionThreshold = policy.conversionThreshold();
+    policy.reset();
+
+    // Headroom-funded conversion servers flip between LC and Batch; the
+    // throttling-funded tranche e_th only absorbs LC-heavy peaks (during
+    // the Batch-heavy phase the budget it borrowed belongs to the
+    // boosted Batch fleet, so it idles).
+    const double e_conv = config_.mode == ReshapeMode::AddLcOnly
+        ? 0.0
+        : static_cast<double>(result.extraServers);
+    const double e_th =
+        static_cast<double>(result.throttleExtraServers);
+    const double lc_fixed_extra = config_.mode == ReshapeMode::AddLcOnly
+        ? static_cast<double>(result.extraServers)
+        : 0.0;
+
+    std::vector<double> load_post(n), lc_thr_post(n), batch_thr_post(n),
+        power_post(n);
+    std::size_t lc_heavy_steps = 0;
+    std::size_t qos_violations = 0;
+
+    for (std::size_t t = 0; t < n; ++t) {
+        const double demand = n_lc * inputs_.testLoad[t] * (1.0 + growth);
+        const double load_orig = demand / n_lc;
+
+        const Phase phase = policy.step(load_orig);
+        if (phase == Phase::LcHeavy)
+            ++lc_heavy_steps;
+
+        const double conv_lc = (e_conv + e_th) * policy.lcFraction();
+        // Conversion servers only do batch work the batch tier has
+        // queued; the rest idle until the next LC-heavy phase.
+        const double batch_work_cap =
+            config_.batchExpandFraction * n_batch;
+        const double conv_batch =
+            std::min(e_conv * (1.0 - policy.lcFraction()),
+                     batch_work_cap);
+        const double th_idle = (e_conv + e_th) * (1.0 - policy.lcFraction()) -
+                               conv_batch;
+        const double active_lc = n_lc + lc_fixed_extra + conv_lc;
+
+        const double per_load = std::min(demand / active_lc, 1.0);
+        load_post[t] = per_load;
+        lc_thr_post[t] = std::min(demand, active_lc);
+        if (per_load > result.conversionThreshold + 1e-12)
+            ++qos_violations;
+
+        // Batch frequency policy.
+        double f = 1.0;
+        if (throttle_boost && inputs_.batchServers > 0) {
+            if (phase == Phase::LcHeavy) {
+                f = config_.throttleFrequency;
+            } else {
+                // Boost up to the budget: spend the instantaneous slack
+                // on raising Batch frequency.
+                const double power_at_one =
+                    active_lc * lc_server_power(per_load) +
+                    n_batch * inputs_.batchDvfs.powerAt(1.0) +
+                    conv_batch * inputs_.batchDvfs.powerAt(1.0) +
+                    th_idle * lc_server_power(0.0) +
+                    inputs_.otherPower[t];
+                const double slack = result.budget - power_at_one;
+                if (slack > 0.0) {
+                    const double per_server =
+                        inputs_.batchDvfs.powerAt(1.0) + slack / n_batch;
+                    f = std::min(config_.boostMaxFrequency,
+                                 inputs_.batchDvfs.frequencyForPower(
+                                     per_server));
+                }
+            }
+        }
+
+        batch_thr_post[t] = n_batch * inputs_.batchDvfs.throughputAt(f) +
+                            conv_batch * 1.0;
+        power_post[t] = active_lc * lc_server_power(per_load) +
+                        n_batch * inputs_.batchDvfs.powerAt(f) +
+                        conv_batch * inputs_.batchDvfs.powerAt(1.0) +
+                        th_idle * lc_server_power(0.0) +
+                        inputs_.otherPower[t];
+    }
+
+    result.perLcLoadPost = trace::TimeSeries(load_post, interval);
+    result.lcThroughputPost = trace::TimeSeries(lc_thr_post, interval);
+    result.batchThroughputPost =
+        trace::TimeSeries(batch_thr_post, interval);
+    result.dcPowerPost = trace::TimeSeries(power_post, interval);
+    result.lcHeavyFraction =
+        static_cast<double>(lc_heavy_steps) / static_cast<double>(n);
+    result.qosViolationFraction =
+        static_cast<double>(qos_violations) / static_cast<double>(n);
+
+    // ---- Summary metrics ----------------------------------------------
+    const double lc_pre_total = result.lcThroughputPre.sum();
+    const double lc_post_total = result.lcThroughputPost.sum();
+    SOSIM_ASSERT(lc_pre_total > 0.0, "ReshapeSimulator: zero LC demand");
+    result.lcThroughputGain = lc_post_total / lc_pre_total - 1.0;
+
+    if (inputs_.batchServers > 0) {
+        const double batch_pre_total = result.batchThroughputPre.sum();
+        result.batchThroughputGain =
+            result.batchThroughputPost.sum() / batch_pre_total - 1.0;
+    }
+
+    // Slack metrics against the fixed budget.
+    double slack_pre_sum = 0.0, slack_post_sum = 0.0;
+    double slack_pre_off = 0.0, slack_post_off = 0.0;
+    std::size_t off_count = 0;
+    const double off_cutoff = result.dcPowerPre.percentile(50.0);
+    for (std::size_t t = 0; t < n; ++t) {
+        const double sp = result.budget - power_pre[t];
+        const double so = result.budget - power_post[t];
+        slack_pre_sum += sp;
+        slack_post_sum += so;
+        if (power_pre[t] <= off_cutoff) {
+            slack_pre_off += sp;
+            slack_post_off += so;
+            ++off_count;
+        }
+    }
+    if (slack_pre_sum > 0.0)
+        result.averageSlackReduction = 1.0 - slack_post_sum / slack_pre_sum;
+    if (off_count > 0 && slack_pre_off > 0.0)
+        result.offPeakSlackReduction = 1.0 - slack_post_off / slack_pre_off;
+
+    return result;
+}
+
+ReshapeInputs
+buildReshapeInputs(const workload::GeneratedDatacenter &dc,
+                   double headroom_fraction, double baseline_peak_load)
+{
+    SOSIM_REQUIRE(baseline_peak_load > 0.0 && baseline_peak_load <= 1.0,
+                  "buildReshapeInputs: peak load must be in (0, 1]");
+    const auto &spec = dc.spec();
+    const int weeks = spec.weeks;
+    const int train_weeks = std::max(1, weeks - 1);
+    const int test_week = weeks - 1;
+
+    ReshapeInputs inputs;
+    inputs.headroomFraction = headroom_fraction;
+
+    // Fleet census and the LC demand mix.
+    double lc_idle_weighted = 0.0;
+    trace::TimeSeries train_raw, test_raw;
+    bool have_lc = false;
+    std::vector<std::size_t> other_instances;
+    for (std::size_t s = 0; s < dc.serviceCount(); ++s) {
+        const auto &profile = dc.serviceProfile(s);
+        const auto members = dc.instancesOfService(s);
+        const double count = static_cast<double>(members.size());
+        if (profile.klass == workload::ServiceClass::LatencyCritical) {
+            inputs.lcServers += members.size();
+            lc_idle_weighted += profile.idleFraction * count;
+            // Average activity over the training weeks.
+            trace::TimeSeries train_act = dc.serviceActivity(s, 0);
+            for (int w = 1; w < train_weeks; ++w)
+                train_act += dc.serviceActivity(s, w);
+            train_act *= 1.0 / static_cast<double>(train_weeks);
+
+            trace::TimeSeries weighted_train = train_act;
+            weighted_train *= count;
+            trace::TimeSeries weighted_test =
+                dc.serviceActivity(s, test_week);
+            weighted_test *= count;
+            if (!have_lc) {
+                train_raw = std::move(weighted_train);
+                test_raw = std::move(weighted_test);
+                have_lc = true;
+            } else {
+                train_raw += weighted_train;
+                test_raw += weighted_test;
+            }
+        } else if (profile.klass == workload::ServiceClass::Batch) {
+            inputs.batchServers += members.size();
+        } else {
+            inputs.otherServers += members.size();
+            other_instances.insert(other_instances.end(), members.begin(),
+                                   members.end());
+        }
+    }
+    SOSIM_REQUIRE(have_lc, "buildReshapeInputs: datacenter hosts no LC");
+    inputs.lcIdleFraction =
+        lc_idle_weighted / static_cast<double>(inputs.lcServers);
+
+    // Normalize: per-server load, training peak at baseline_peak_load.
+    const double n_lc = static_cast<double>(inputs.lcServers);
+    train_raw *= 1.0 / n_lc;
+    test_raw *= 1.0 / n_lc;
+    const double scale = baseline_peak_load / train_raw.peak();
+    train_raw *= scale;
+    test_raw *= scale;
+    test_raw.clamp(0.0, 1.0);
+    inputs.trainingLoad = std::move(train_raw);
+    inputs.testLoad = std::move(test_raw);
+
+    // Fixed power of the storage/infra fleet in the test week.
+    if (other_instances.empty()) {
+        inputs.otherPower = trace::TimeSeries::zeros(
+            inputs.testLoad.size(), inputs.testLoad.intervalMinutes());
+    } else {
+        std::vector<const trace::TimeSeries *> traces;
+        traces.reserve(other_instances.size());
+        for (const auto i : other_instances)
+            traces.push_back(&dc.weekTrace(i, test_week));
+        inputs.otherPower = trace::sumSeries(traces);
+    }
+
+    return inputs;
+}
+
+} // namespace sosim::sim

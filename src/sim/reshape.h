@@ -1,0 +1,165 @@
+#ifndef SOSIM_SIM_RESHAPE_H
+#define SOSIM_SIM_RESHAPE_H
+
+/**
+ * @file
+ * Dynamic power profile reshaping runtime (section 4 of the paper).
+ *
+ * The simulator plays the held-out test week minute by minute at
+ * datacenter scope.  The workload-aware placement has unlocked
+ * `headroomFraction` extra budget, which is spent on extra servers:
+ *
+ *  - AddLcOnly: the extra servers are LC-specific (the strawman of
+ *    section 4.1 — underutilized off-peak).
+ *  - Conversion: the extra servers are storage-disaggregated conversion
+ *    servers driven by the history-based ConversionPolicy.
+ *  - ConversionThrottleBoost: additionally, Batch is proactively
+ *    throttled during the LC-heavy phase (funding an extra tranche of
+ *    conversion servers) and boosted up to the budget during the
+ *    Batch-heavy phase.
+ *
+ * Outputs are the time series and summary statistics behind Figures 12,
+ * 13 and 14.
+ */
+
+#include <cstddef>
+#include <string>
+
+#include "sim/conversion.h"
+#include "sim/dvfs.h"
+#include "trace/time_series.h"
+#include "workload/generator.h"
+
+namespace sosim::sim {
+
+/** Which reshaping strategy the runtime applies. */
+enum class ReshapeMode {
+    /** No extra servers: the pre-SmoothOperator datacenter. */
+    PreSmoothOperator,
+    /** Spend the headroom on LC-only servers (section 4.1 strawman). */
+    AddLcOnly,
+    /** History-based server conversion (section 4.2). */
+    Conversion,
+    /** Conversion plus proactive throttling and boosting. */
+    ConversionThrottleBoost,
+};
+
+/** Printable mode name. */
+std::string reshapeModeName(ReshapeMode mode);
+
+/** Workload-side inputs of the runtime (see buildReshapeInputs). */
+struct ReshapeInputs {
+    /** Original LC fleet size. */
+    std::size_t lcServers = 0;
+    /** Original Batch fleet size. */
+    std::size_t batchServers = 0;
+    /** Servers outside LC/Batch (storage, infra). */
+    std::size_t otherServers = 0;
+    /** Per-LC-server load of the training week (original traffic). */
+    trace::TimeSeries trainingLoad;
+    /** Per-LC-server load of the test week (original traffic). */
+    trace::TimeSeries testLoad;
+    /** Fixed aggregate power of the storage/infra fleet (test week). */
+    trace::TimeSeries otherPower;
+    /** Idle fraction of an LC server's power curve. */
+    double lcIdleFraction = 0.30;
+    /** DVFS behaviour of Batch servers. */
+    DvfsModel batchDvfs;
+    /** Budget fraction unlocked by the placement step. */
+    double headroomFraction = 0.10;
+};
+
+/** Policy knobs of the runtime. */
+struct ReshapeConfig {
+    ReshapeMode mode = ReshapeMode::Conversion;
+    ConversionConfig conversion;
+    /**
+     * Traffic growth the datacenter must absorb; negative means "grow by
+     * exactly the unlocked headroom" (the paper sizes the added traffic
+     * to the added capacity).
+     */
+    double trafficGrowth = -1.0;
+    /** Batch frequency during LC-heavy phase (ConversionThrottleBoost). */
+    double throttleFrequency = 0.95;
+    /** Boost-frequency ceiling during Batch-heavy phase. */
+    double boostMaxFrequency = 1.10;
+    /**
+     * Extra batch capacity (as a fraction of the original Batch fleet)
+     * that the batch workload can actually absorb.  Conversion servers
+     * beyond this cap idle during the Batch-heavy phase: a datacenter
+     * whose batch tier is small (the paper's DC3) cannot put every
+     * conversion server to batch work.
+     */
+    double batchExpandFraction = 0.20;
+};
+
+/** Everything the benches need to draw Figures 12-14. */
+struct ReshapeResult {
+    // --- Time series over the test week ------------------------------
+    trace::TimeSeries perLcLoadPre;
+    trace::TimeSeries perLcLoadPost;
+    trace::TimeSeries lcThroughputPre;   ///< Served LC demand (server units).
+    trace::TimeSeries lcThroughputPost;
+    trace::TimeSeries batchThroughputPre; ///< Batch work rate (server units).
+    trace::TimeSeries batchThroughputPost;
+    trace::TimeSeries dcPowerPre;
+    trace::TimeSeries dcPowerPost;
+
+    // --- Configuration echoes ----------------------------------------
+    double budget = 0.0;               ///< Fixed DC power budget.
+    double conversionThreshold = 0.0;  ///< Learned L_conv.
+    std::size_t extraServers = 0;      ///< Headroom-funded servers.
+    std::size_t throttleExtraServers = 0; ///< Throttling-funded servers.
+
+    // --- Summary metrics ----------------------------------------------
+    /** Total served LC demand, post / pre - 1. */
+    double lcThroughputGain = 0.0;
+    /** Total Batch work, post / pre - 1. */
+    double batchThroughputGain = 0.0;
+    /** 1 - mean(slack_post) / mean(slack_pre). */
+    double averageSlackReduction = 0.0;
+    /** Same, restricted to off-peak samples (pre-power lower half). */
+    double offPeakSlackReduction = 0.0;
+    /** Fraction of steps where post per-LC-server load exceeds L_conv. */
+    double qosViolationFraction = 0.0;
+    /** Fraction of steps spent in the LC-heavy phase. */
+    double lcHeavyFraction = 0.0;
+};
+
+/** The datacenter-scope reshaping runtime. */
+class ReshapeSimulator
+{
+  public:
+    ReshapeSimulator(ReshapeInputs inputs, ReshapeConfig config);
+
+    /** Play the test week and return every series and summary metric. */
+    ReshapeResult run() const;
+
+    const ReshapeInputs &inputs() const { return inputs_; }
+    const ReshapeConfig &config() const { return config_; }
+
+  private:
+    ReshapeInputs inputs_;
+    ReshapeConfig config_;
+};
+
+/**
+ * Derive ReshapeInputs from a generated datacenter.
+ *
+ * The LC demand curve is the instance-count-weighted mix of the LC
+ * services' activity curves, normalized so that the training week peaks
+ * at `baseline_peak_load` per server (the fleet was provisioned to keep
+ * QoS at the historical peak).
+ *
+ * @param dc                 Generated datacenter.
+ * @param headroom_fraction  Budget fraction unlocked by placement (from
+ *                           core::HeadroomReport::extraServerFraction).
+ * @param baseline_peak_load Historical per-server peak load.
+ */
+ReshapeInputs buildReshapeInputs(const workload::GeneratedDatacenter &dc,
+                                 double headroom_fraction,
+                                 double baseline_peak_load = 0.9);
+
+} // namespace sosim::sim
+
+#endif // SOSIM_SIM_RESHAPE_H

@@ -1,0 +1,74 @@
+#include "cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sosim::trace {
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples))
+{
+    SOSIM_REQUIRE(!sorted_.empty(), "Cdf: need at least one sample");
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+Cdf::Cdf(const TimeSeries &series) : Cdf(series.samples()) {}
+
+double
+Cdf::quantile(double q) const
+{
+    SOSIM_REQUIRE(q >= 0.0 && q <= 1.0, "Cdf::quantile: q must be in [0,1]");
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    const double pos = q * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double
+Cdf::cumulativeProbability(double x) const
+{
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+TimeSeries
+percentileAcross(const std::vector<const TimeSeries *> &traces, double p)
+{
+    SOSIM_REQUIRE(!traces.empty(), "percentileAcross: need traces");
+    SOSIM_REQUIRE(p >= 0.0 && p <= 100.0,
+                  "percentileAcross: p must be in [0, 100]");
+    const TimeSeries *first = traces.front();
+    SOSIM_REQUIRE(first != nullptr, "percentileAcross: null trace");
+    for (const auto *t : traces) {
+        SOSIM_REQUIRE(t != nullptr, "percentileAcross: null trace");
+        SOSIM_REQUIRE(t->alignedWith(*first),
+                      "percentileAcross: misaligned traces");
+    }
+
+    const std::size_t n = first->size();
+    std::vector<double> out(n);
+    std::vector<double> column(traces.size());
+    for (std::size_t t = 0; t < n; ++t) {
+        for (std::size_t i = 0; i < traces.size(); ++i)
+            column[i] = (*traces[i])[t];
+        std::sort(column.begin(), column.end());
+        if (column.size() == 1) {
+            out[t] = column.front();
+            continue;
+        }
+        const double pos =
+            p / 100.0 * static_cast<double>(column.size() - 1);
+        const auto lo = static_cast<std::size_t>(std::floor(pos));
+        const auto hi = static_cast<std::size_t>(std::ceil(pos));
+        const double frac = pos - static_cast<double>(lo);
+        out[t] = column[lo] * (1.0 - frac) + column[hi] * frac;
+    }
+    return TimeSeries(std::move(out), first->intervalMinutes());
+}
+
+} // namespace sosim::trace

@@ -1,0 +1,66 @@
+#ifndef SOSIM_TRACE_CDF_H
+#define SOSIM_TRACE_CDF_H
+
+/**
+ * @file
+ * Empirical cumulative distribution function over trace samples.
+ *
+ * The StatProf baseline (Govindan et al., EuroSys'09, as summarized in
+ * SmoothOperator section 5.2.1) models each instance's power profile as a
+ * CDF and provisions the (100 - u)-th percentile.  This class provides
+ * that view of a power trace.
+ */
+
+#include <vector>
+
+#include "trace/time_series.h"
+
+namespace sosim::trace {
+
+/** Empirical CDF built from a set of samples. */
+class Cdf
+{
+  public:
+    /** Build from raw samples (copied and sorted). */
+    explicit Cdf(std::vector<double> samples);
+
+    /** Build from the samples of a time series. */
+    explicit Cdf(const TimeSeries &series);
+
+    /** Number of underlying samples. */
+    std::size_t size() const { return sorted_.size(); }
+
+    /**
+     * The q-th quantile, q in [0, 1], by linear interpolation between
+     * order statistics.
+     */
+    double quantile(double q) const;
+
+    /** The p-th percentile, p in [0, 100]. */
+    double percentile(double p) const { return quantile(p / 100.0); }
+
+    /** Fraction of samples <= x. */
+    double cumulativeProbability(double x) const;
+
+    /** Smallest sample. */
+    double min() const { return sorted_.front(); }
+
+    /** Largest sample. */
+    double max() const { return sorted_.back(); }
+
+  private:
+    std::vector<double> sorted_;
+};
+
+/**
+ * Per-timestamp percentile band across a population of aligned traces:
+ * output[t] = p-th percentile of {traces[i][t]}.  This is how Figure 6's
+ * percentile bands (p5-p95 etc. across all servers of one service) are
+ * computed.
+ */
+TimeSeries percentileAcross(const std::vector<const TimeSeries *> &traces,
+                            double p);
+
+} // namespace sosim::trace
+
+#endif // SOSIM_TRACE_CDF_H

@@ -1,0 +1,104 @@
+#include "forecast.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sosim::trace {
+
+namespace {
+
+void
+validateWeeks(const std::vector<TimeSeries> &weeks)
+{
+    SOSIM_REQUIRE(!weeks.empty(), "forecast: need at least one week");
+    for (const auto &w : weeks)
+        SOSIM_REQUIRE(w.alignedWith(weeks.front()),
+                      "forecast: misaligned weeks");
+    SOSIM_REQUIRE(!weeks.front().empty(), "forecast: empty weeks");
+}
+
+} // namespace
+
+TimeSeries
+seasonalNaiveForecast(const std::vector<TimeSeries> &weeks)
+{
+    validateWeeks(weeks);
+    return weeks.back();
+}
+
+TimeSeries
+exponentialWeightedForecast(const std::vector<TimeSeries> &weeks,
+                            double alpha)
+{
+    validateWeeks(weeks);
+    SOSIM_REQUIRE(alpha > 0.0 && alpha <= 1.0,
+                  "exponentialWeightedForecast: alpha must be in (0, 1]");
+    const std::size_t n = weeks.size();
+    double total = 0.0;
+    std::vector<double> weight(n);
+    for (std::size_t w = 0; w < n; ++w) {
+        weight[w] = std::pow(alpha, static_cast<double>(n - 1 - w));
+        total += weight[w];
+    }
+    TimeSeries acc = TimeSeries::zeros(weeks.front().size(),
+                                       weeks.front().intervalMinutes());
+    for (std::size_t w = 0; w < n; ++w)
+        acc += weeks[w] * (weight[w] / total);
+    return acc;
+}
+
+double
+fittedWeeklyGrowth(const std::vector<TimeSeries> &weeks)
+{
+    validateWeeks(weeks);
+    if (weeks.size() < 2)
+        return 0.0;
+    double log_sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t w = 1; w < weeks.size(); ++w) {
+        const double prev = weeks[w - 1].mean();
+        const double cur = weeks[w].mean();
+        if (prev <= 0.0 || cur <= 0.0)
+            continue;
+        log_sum += std::log(cur / prev);
+        ++count;
+    }
+    if (count == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(count)) - 1.0;
+}
+
+TimeSeries
+trendAdjustedForecast(const std::vector<TimeSeries> &weeks, double alpha)
+{
+    TimeSeries profile = exponentialWeightedForecast(weeks, alpha);
+    const double growth = fittedWeeklyGrowth(weeks);
+    if (growth == 0.0 || weeks.size() < 2)
+        return profile;
+
+    // The weighted profile represents an effective "as-of" week; with
+    // strong decay it is close to the last week, so extrapolating one
+    // growth step ahead is the right first-order correction.
+    profile *= 1.0 + growth;
+    return profile;
+}
+
+double
+mape(const TimeSeries &actual, const TimeSeries &forecast)
+{
+    SOSIM_REQUIRE(actual.alignedWith(forecast), "mape: misaligned series");
+    SOSIM_REQUIRE(!actual.empty(), "mape: empty series");
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t t = 0; t < actual.size(); ++t) {
+        if (actual[t] == 0.0)
+            continue;
+        acc += std::abs(forecast[t] - actual[t]) / std::abs(actual[t]);
+        ++count;
+    }
+    SOSIM_REQUIRE(count > 0, "mape: actual is identically zero");
+    return acc / static_cast<double>(count);
+}
+
+} // namespace sosim::trace

@@ -1,0 +1,67 @@
+#ifndef SOSIM_TRACE_FORECAST_H
+#define SOSIM_TRACE_FORECAST_H
+
+/**
+ * @file
+ * Trace forecasting for proactive planning.
+ *
+ * The paper trains on the plain average of past weeks (Eq. 4), which is
+ * the right call for stationary workloads but lags under secular load
+ * growth.  This module provides forecasters that look one week ahead:
+ *
+ *  - seasonal naive: next week = last week (strong day-of-week
+ *    seasonality makes this a solid baseline, §3.3);
+ *  - exponentially weighted: recent weeks dominate the average;
+ *  - trend-adjusted: the exponentially weighted profile is scaled by a
+ *    growth factor fitted to the weekly means.
+ *
+ * Table 1 credits SmoothOperator with "proactive planning"; these
+ * forecasters are the mechanism a deployment would use for it.
+ */
+
+#include <vector>
+
+#include "trace/time_series.h"
+
+namespace sosim::trace {
+
+/** Next week equals the most recent week. */
+TimeSeries seasonalNaiveForecast(const std::vector<TimeSeries> &weeks);
+
+/**
+ * Exponentially weighted profile: weight of week w (0 = oldest) is
+ * alpha^(n-1-w), normalized.  alpha = 1 degenerates to the plain
+ * average of Eq. 4; smaller alpha forgets faster.
+ *
+ * @param weeks Aligned weekly traces, oldest first (>= 1).
+ * @param alpha Decay in (0, 1].
+ */
+TimeSeries exponentialWeightedForecast(const std::vector<TimeSeries> &weeks,
+                                       double alpha = 0.5);
+
+/**
+ * Trend-adjusted forecast: the exponentially weighted profile scaled by
+ * the fitted week-over-week growth of the weekly means, extrapolated
+ * one week ahead.  With fewer than two weeks this reduces to the
+ * weighted profile.
+ *
+ * @param weeks Aligned weekly traces, oldest first (>= 1).
+ * @param alpha Decay of the underlying weighted profile.
+ * @return The forecast for week n (one past the last input week).
+ */
+TimeSeries trendAdjustedForecast(const std::vector<TimeSeries> &weeks,
+                                 double alpha = 0.5);
+
+/**
+ * Fitted week-over-week growth rate of the weekly means (geometric mean
+ * of consecutive ratios), e.g. 0.05 for +5%/week.  Zero when fewer than
+ * two weeks are given or means are non-positive.
+ */
+double fittedWeeklyGrowth(const std::vector<TimeSeries> &weeks);
+
+/** Mean absolute percentage error of a forecast against the actual. */
+double mape(const TimeSeries &actual, const TimeSeries &forecast);
+
+} // namespace sosim::trace
+
+#endif // SOSIM_TRACE_FORECAST_H

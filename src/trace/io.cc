@@ -1,0 +1,135 @@
+#include "io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace sosim::trace {
+
+void
+writeCsv(std::ostream &os, const TraceBundle &bundle)
+{
+    SOSIM_REQUIRE(!bundle.traces.empty(), "writeCsv: empty bundle");
+    SOSIM_REQUIRE(bundle.names.size() == bundle.traces.size(),
+                  "writeCsv: one name per trace required");
+    const auto &proto = bundle.traces.front();
+    for (const auto &t : bundle.traces)
+        SOSIM_REQUIRE(t.alignedWith(proto), "writeCsv: misaligned traces");
+    for (const auto &name : bundle.names)
+        SOSIM_REQUIRE(name.find(',') == std::string::npos &&
+                          name.find('\n') == std::string::npos,
+                      "writeCsv: names must not contain ',' or newline");
+
+    os << "# interval_minutes=" << proto.intervalMinutes() << '\n';
+    for (std::size_t c = 0; c < bundle.names.size(); ++c) {
+        if (c)
+            os << ',';
+        os << bundle.names[c];
+    }
+    os << '\n';
+    os.precision(10);
+    for (std::size_t t = 0; t < proto.size(); ++t) {
+        for (std::size_t c = 0; c < bundle.traces.size(); ++c) {
+            if (c)
+                os << ',';
+            os << bundle.traces[c][t];
+        }
+        os << '\n';
+    }
+}
+
+namespace {
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ss(line);
+    while (std::getline(ss, cell, ','))
+        cells.push_back(cell);
+    if (!line.empty() && line.back() == ',')
+        cells.push_back("");
+    return cells;
+}
+
+} // namespace
+
+TraceBundle
+readCsv(std::istream &is)
+{
+    std::string line;
+
+    // Header comment with the interval.
+    SOSIM_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                  "readCsv: empty input");
+    const std::string prefix = "# interval_minutes=";
+    SOSIM_REQUIRE(line.rfind(prefix, 0) == 0,
+                  "readCsv: missing '# interval_minutes=' header");
+    int interval = 0;
+    try {
+        interval = std::stoi(line.substr(prefix.size()));
+    } catch (const std::exception &) {
+        SOSIM_REQUIRE(false, "readCsv: malformed interval header");
+    }
+    SOSIM_REQUIRE(interval >= 1, "readCsv: interval must be >= 1");
+
+    // Column names.
+    SOSIM_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                  "readCsv: missing column-name row");
+    TraceBundle bundle;
+    bundle.names = splitCsvLine(line);
+    SOSIM_REQUIRE(!bundle.names.empty(), "readCsv: no columns");
+
+    // Body.
+    std::vector<std::vector<double>> columns(bundle.names.size());
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        const auto cells = splitCsvLine(line);
+        SOSIM_REQUIRE(cells.size() == bundle.names.size(),
+                      "readCsv: ragged row");
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            try {
+                std::size_t used = 0;
+                const double v = std::stod(cells[c], &used);
+                SOSIM_REQUIRE(used == cells[c].size(),
+                              "readCsv: trailing junk in numeric cell");
+                columns[c].push_back(v);
+            } catch (const util::FatalError &) {
+                throw;
+            } catch (const std::exception &) {
+                SOSIM_REQUIRE(false, "readCsv: non-numeric cell '" +
+                                         cells[c] + "'");
+            }
+        }
+    }
+    SOSIM_REQUIRE(!columns.front().empty(), "readCsv: no data rows");
+
+    bundle.traces.reserve(columns.size());
+    for (auto &col : columns)
+        bundle.traces.emplace_back(std::move(col), interval);
+    return bundle;
+}
+
+void
+writeCsvFile(const std::string &path, const TraceBundle &bundle)
+{
+    std::ofstream os(path);
+    SOSIM_REQUIRE(os.good(), "writeCsvFile: cannot open " + path);
+    writeCsv(os, bundle);
+    SOSIM_REQUIRE(os.good(), "writeCsvFile: write failed for " + path);
+}
+
+TraceBundle
+readCsvFile(const std::string &path)
+{
+    std::ifstream is(path);
+    SOSIM_REQUIRE(is.good(), "readCsvFile: cannot open " + path);
+    return readCsv(is);
+}
+
+} // namespace sosim::trace

@@ -1,0 +1,81 @@
+#include "table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "error.h"
+
+namespace sosim::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    SOSIM_REQUIRE(!header_.empty(), "Table: header must be non-empty");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    SOSIM_REQUIRE(row.size() == header_.size(),
+                  "Table: row arity must match header");
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+
+    emit_row(header_);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit_row(header_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+fmtFixed(double value, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << value;
+    return os.str();
+}
+
+std::string
+fmtPercent(double ratio, int digits)
+{
+    return fmtFixed(ratio * 100.0, digits) + "%";
+}
+
+} // namespace sosim::util

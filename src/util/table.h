@@ -1,0 +1,57 @@
+#ifndef SOSIM_UTIL_TABLE_H
+#define SOSIM_UTIL_TABLE_H
+
+/**
+ * @file
+ * Plain-text table and CSV emission used by the benchmark harnesses to
+ * print paper-figure data series in a uniform, diffable format.
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sosim::util {
+
+/**
+ * Column-aligned plain-text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"DC", "level", "reduction"});
+ *   t.addRow({"DC1", "RPP", "2.3%"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with a header row. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns to the given stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows) to the given stream. */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision, e.g. fmtFixed(3.14159, 2) = "3.14". */
+std::string fmtFixed(double value, int digits);
+
+/** Format a ratio as a signed percentage, e.g. fmtPercent(0.131) = "13.1%". */
+std::string fmtPercent(double ratio, int digits = 1);
+
+} // namespace sosim::util
+
+#endif // SOSIM_UTIL_TABLE_H

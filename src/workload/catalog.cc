@@ -1,0 +1,241 @@
+#include "catalog.h"
+
+namespace sosim::workload {
+
+std::string
+serviceClassName(ServiceClass klass)
+{
+    switch (klass) {
+      case ServiceClass::LatencyCritical:
+        return "LC";
+      case ServiceClass::Batch:
+        return "Batch";
+      case ServiceClass::Storage:
+        return "Storage";
+      case ServiceClass::Infra:
+        return "Infra";
+    }
+    return "?";
+}
+
+ServiceProfile
+webFrontend()
+{
+    ServiceProfile p;
+    p.name = "frontend";
+    p.klass = ServiceClass::LatencyCritical;
+    p.idleFraction = 0.24;
+    p.peakHour = 14.0;       // User-activity daytime peak.
+    p.peakWidthHours = 4.5;
+    p.baseActivity = 0.22;
+    p.weekendFactor = 0.88;
+    p.phaseJitterHours = 0.6;
+    p.amplitudeJitterFrac = 0.06;
+    p.popularityZipf = 0.15;
+    p.noiseStd = 0.012;
+    return p;
+}
+
+ServiceProfile
+cache()
+{
+    ServiceProfile p = webFrontend();
+    p.name = "cache";
+    p.idleFraction = 0.35;   // Memory-bound; flatter dynamic range.
+    p.peakHour = 13.5;
+    p.peakWidthHours = 5.0;
+    p.baseActivity = 0.45;
+    p.phaseJitterHours = 0.4;
+    p.noiseStd = 0.008;
+    return p;
+}
+
+ServiceProfile
+search()
+{
+    ServiceProfile p = webFrontend();
+    p.name = "search";
+    p.peakHour = 15.0;
+    p.peakWidthHours = 4.0;
+    p.baseActivity = 0.32;
+    p.popularityZipf = 0.25;
+    return p;
+}
+
+ServiceProfile
+searchIndex()
+{
+    ServiceProfile p;
+    p.name = "searchindex";
+    p.klass = ServiceClass::Batch;
+    p.idleFraction = 0.40;
+    p.peakHour = 23.0;       // Index rebuilds run overnight.
+    p.peakWidthHours = 5.0;
+    p.baseActivity = 0.55;
+    p.weekendFactor = 1.0;
+    p.phaseJitterHours = 1.5;
+    p.amplitudeJitterFrac = 0.08;
+    p.noiseStd = 0.02;
+    return p;
+}
+
+ServiceProfile
+instagram()
+{
+    ServiceProfile p = webFrontend();
+    p.name = "instagram";
+    p.peakHour = 19.0;       // Evening-skewed media traffic.
+    p.peakWidthHours = 4.0;
+    p.baseActivity = 0.33;
+    p.weekendFactor = 1.05;  // Slightly busier on weekends.
+    return p;
+}
+
+ServiceProfile
+mobileDev()
+{
+    ServiceProfile p;
+    p.name = "mobiledev";
+    p.klass = ServiceClass::Batch; // Build/test jobs: throttleable.
+    p.idleFraction = 0.30;
+    p.peakHour = 11.0;       // Working-hours build/test load.
+    p.peakWidthHours = 3.5;
+    p.secondaryPeakHour = 16.0;
+    p.secondaryWeight = 0.8;
+    p.baseActivity = 0.20;
+    p.weekendFactor = 0.45;  // Engineers mostly off on weekends.
+    p.phaseJitterHours = 1.0;
+    p.amplitudeJitterFrac = 0.10;
+    p.noiseStd = 0.02;
+    return p;
+}
+
+ServiceProfile
+dbBackend()
+{
+    ServiceProfile p;
+    p.name = "db A";
+    p.klass = ServiceClass::Storage;
+    p.idleFraction = 0.33;   // I/O bound: modest daytime power.
+    p.peakHour = 2.0;        // Nightly backup compression peak.
+    p.peakWidthHours = 2.5;
+    p.secondaryPeakHour = 14.0; // Small daytime query-miss bump.
+    p.secondaryWeight = 0.20;
+    p.baseActivity = 0.20;
+    p.weekendFactor = 1.0;   // Backups run every night.
+    p.phaseJitterHours = 0.8;
+    p.amplitudeJitterFrac = 0.07;
+    p.popularityZipf = 0.30; // Shard popularity skew.
+    p.noiseStd = 0.012;
+    return p;
+}
+
+ServiceProfile
+dbSecondary()
+{
+    ServiceProfile p = dbBackend();
+    p.name = "db B";
+    p.peakHour = 4.0;        // Staggered backup window.
+    p.secondaryWeight = 0.25;
+    return p;
+}
+
+ServiceProfile
+hadoop()
+{
+    ServiceProfile p;
+    p.name = "hadoop";
+    p.klass = ServiceClass::Batch;
+    p.idleFraction = 0.45;
+    p.peakHour = 23.5;       // Scheduler drains the queue overnight...
+    p.peakWidthHours = 7.0;  // ...on top of constantly high utilization.
+    p.baseActivity = 0.70;
+    p.weekendFactor = 1.0;
+    p.dayOfWeekVariation = 0.03;
+    p.phaseJitterHours = 3.0;
+    p.amplitudeJitterFrac = 0.10;
+    p.noiseStd = 0.04;       // Job-mix churn looks like noise.
+    p.burstsPerDay = 0.5;    // Occasional large jobs.
+    p.burstMagnitude = 1.15;
+    p.burstMinutes = 120;
+    return p;
+}
+
+ServiceProfile
+batchJob()
+{
+    ServiceProfile p = hadoop();
+    p.name = "batchjob";
+    p.baseActivity = 0.65;
+    p.peakHour = 1.0;        // Nightly ETL window.
+    p.peakWidthHours = 4.0;
+    p.noiseStd = 0.03;
+    return p;
+}
+
+ServiceProfile
+devPool()
+{
+    ServiceProfile p = mobileDev();
+    p.name = "dev";
+    p.klass = ServiceClass::Batch;
+    p.peakHour = 12.0;
+    p.secondaryPeakHour = -1.0;
+    p.secondaryWeight = 0.0;
+    p.baseActivity = 0.25;
+    return p;
+}
+
+ServiceProfile
+labServer()
+{
+    ServiceProfile p;
+    p.name = "labserver";
+    p.klass = ServiceClass::Infra;
+    p.idleFraction = 0.35;
+    p.peakHour = 10.0;
+    p.peakWidthHours = 8.0;
+    p.baseActivity = 0.40;
+    p.weekendFactor = 0.75;
+    p.dayOfWeekVariation = 0.08;
+    p.phaseJitterHours = 2.5;
+    p.amplitudeJitterFrac = 0.12;
+    p.noiseStd = 0.03;
+    return p;
+}
+
+ServiceProfile
+photoStorage()
+{
+    ServiceProfile p;
+    p.name = "photostorage";
+    p.klass = ServiceClass::Storage;
+    p.idleFraction = 0.50;   // Spinning disks dominate: flat power.
+    p.peakHour = 20.0;       // Evening upload peak.
+    p.peakWidthHours = 5.0;
+    p.baseActivity = 0.35;
+    p.weekendFactor = 1.10;
+    p.phaseJitterHours = 1.0;
+    p.amplitudeJitterFrac = 0.05;
+    p.noiseStd = 0.01;
+    return p;
+}
+
+ServiceProfile
+genericLc(const std::string &name, double peak_hour)
+{
+    ServiceProfile p = webFrontend();
+    p.name = name;
+    p.peakHour = peak_hour;
+    return p;
+}
+
+ServiceProfile
+genericBatch(const std::string &name)
+{
+    ServiceProfile p = batchJob();
+    p.name = name;
+    return p;
+}
+
+} // namespace sosim::workload

@@ -1,0 +1,36 @@
+#ifndef SOSIM_WORKLOAD_CATALOG_H
+#define SOSIM_WORKLOAD_CATALOG_H
+
+/**
+ * @file
+ * Catalog of named service profiles modeled on the workloads the paper
+ * names in Figures 5 and 6: web/frontend traffic (day-peaking,
+ * latency-critical), db backends (night-peaking backup compression),
+ * hadoop (flat and high), plus the long tail of cache/search/dev/lab
+ * services that appear in the three datacenters' top-10 breakdowns.
+ */
+
+#include "workload/service_profile.h"
+
+namespace sosim::workload {
+
+/** Every profile the catalog knows, for enumeration in tests. */
+ServiceProfile webFrontend();
+ServiceProfile cache();
+ServiceProfile search();
+ServiceProfile searchIndex();
+ServiceProfile instagram();
+ServiceProfile mobileDev();
+ServiceProfile dbBackend();     ///< "db A": night backup peak.
+ServiceProfile dbSecondary();   ///< "db B": smaller, later backup peak.
+ServiceProfile hadoop();
+ServiceProfile batchJob();
+ServiceProfile devPool();
+ServiceProfile labServer();
+ServiceProfile photoStorage();
+ServiceProfile genericLc(const std::string &name, double peak_hour);
+ServiceProfile genericBatch(const std::string &name);
+
+} // namespace sosim::workload
+
+#endif // SOSIM_WORKLOAD_CATALOG_H

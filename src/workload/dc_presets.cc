@@ -1,0 +1,133 @@
+#include "dc_presets.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "workload/catalog.h"
+
+namespace sosim::workload {
+
+namespace {
+
+/** Scale an instance count, keeping at least one instance. */
+int
+scaled(int count, double scale)
+{
+    return std::max(1, static_cast<int>(std::lround(count * scale)));
+}
+
+DatacenterSpec
+baseSpec(const std::string &name, const PresetOptions &options)
+{
+    DatacenterSpec spec;
+    spec.name = name;
+    spec.intervalMinutes = options.intervalMinutes;
+    spec.weeks = options.weeks;
+    spec.seed = options.seed;
+    // 4 suites x 2 MSB x 2 SB x 4 RPP x 4 racks = 256 racks.
+    spec.topology = power::TopologySpec{};
+    return spec;
+}
+
+void
+add(DatacenterSpec &spec, ServiceProfile profile, int count, double scale)
+{
+    spec.services.push_back({std::move(profile), scaled(count, scale)});
+}
+
+/** Dampen instance-level heterogeneity (for DC1). */
+ServiceProfile
+homogenized(ServiceProfile p)
+{
+    p.phaseJitterHours *= 0.4;
+    p.amplitudeJitterFrac *= 0.5;
+    p.popularityZipf *= 0.3;
+    return p;
+}
+
+} // namespace
+
+DatacenterSpec
+buildDc1Spec(const PresetOptions &options)
+{
+    DatacenterSpec spec = baseSpec("DC1", options);
+    const double s = options.scale;
+    // Frontend-dominated; the long tail of "service W/X/Y/Z/B" are
+    // web-like LC services with near-identical daytime peaks, so the
+    // datacenter offers little asynchrony to exploit.
+    add(spec, homogenized(webFrontend()), 320, s);
+    add(spec, homogenized(cache()), 144, s);
+    add(spec, homogenized(search()), 128, s);
+    add(spec, homogenized(genericLc("service W", 13.5)), 128, s);
+    add(spec, homogenized(genericLc("service X", 14.0)), 128, s);
+    // Day-peaking batch pools: synchronous with the LC tier (so DC1
+    // stays homogeneous for placement) but convertible and throttleable.
+    ServiceProfile service_y = devPool();
+    service_y.name = "service Y";
+    service_y.peakHour = 14.5;
+    add(spec, homogenized(service_y), 128, s);
+    ServiceProfile service_z = devPool();
+    service_z.name = "service Z";
+    service_z.peakHour = 15.0;
+    add(spec, homogenized(service_z), 128, s);
+    // A modest day-peaking batch pool (synchronous with the LC tier, so
+    // it adds little asynchrony) gives the reshaping runtime something
+    // to convert and throttle in DC1.
+    ServiceProfile batch_pool = devPool();
+    batch_pool.name = "batchpool";
+    add(spec, homogenized(batch_pool), 128, s);
+    add(spec, homogenized(photoStorage()), 160, s);
+    add(spec, homogenized(mobileDev()), 144, s);
+    return spec;
+}
+
+DatacenterSpec
+buildDc2Spec(const PresetOptions &options)
+{
+    DatacenterSpec spec = baseSpec("DC2", options);
+    spec.seed = options.seed + 1;
+    const double s = options.scale;
+    // Mixed population: storage backends with night backups, flat batch
+    // fleets, and a moderate LC tier.
+    add(spec, labServer(), 304, s);
+    add(spec, webFrontend(), 256, s);
+    add(spec, devPool(), 224, s);
+    add(spec, dbBackend(), 144, s);
+    add(spec, hadoop(), 144, s);
+    add(spec, cache(), 160, s);
+    add(spec, batchJob(), 80, s);
+    add(spec, searchIndex(), 64, s);
+    add(spec, search(), 96, s);
+    add(spec, dbSecondary(), 64, s);
+    return spec;
+}
+
+DatacenterSpec
+buildDc3Spec(const PresetOptions &options)
+{
+    DatacenterSpec spec = baseSpec("DC3", options);
+    spec.seed = options.seed + 2;
+    const double s = options.scale;
+    // Highly heterogeneous and LC-heavy: tall daytime frontend peaks,
+    // flat hadoop, night-peaking databases, evening-peaking instagram.
+    add(spec, webFrontend(), 320, s);
+    add(spec, hadoop(), 224, s);
+    add(spec, dbBackend(), 336, s);
+    add(spec, search(), 128, s);
+    add(spec, mobileDev(), 112, s);
+    add(spec, instagram(), 128, s);
+    add(spec, cache(), 80, s);
+    add(spec, dbSecondary(), 128, s);
+    add(spec, genericLc("service A", 17.0), 32, s);
+    add(spec, labServer(), 48, s);
+    return spec;
+}
+
+std::vector<DatacenterSpec>
+buildAllDcSpecs(const PresetOptions &options)
+{
+    return {buildDc1Spec(options), buildDc2Spec(options),
+            buildDc3Spec(options)};
+}
+
+} // namespace sosim::workload

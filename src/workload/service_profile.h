@@ -1,0 +1,102 @@
+#ifndef SOSIM_WORKLOAD_SERVICE_PROFILE_H
+#define SOSIM_WORKLOAD_SERVICE_PROFILE_H
+
+/**
+ * @file
+ * Parametric description of one service's power behaviour.
+ *
+ * These profiles substitute for Facebook's production power telemetry.
+ * Each profile encodes the statistical shape the paper reports in
+ * section 2.3 (Figure 6): a diurnal activity curve (user-facing services
+ * peak in the day, database backups peak at night, hadoop runs flat and
+ * high), day-of-week modulation, and two sources of instance-level
+ * heterogeneity — phase/amplitude jitter and Zipf popularity skew.
+ */
+
+#include <string>
+
+namespace sosim::workload {
+
+/** Role of a service in the reshaping runtime (section 4). */
+enum class ServiceClass {
+    /** User-facing, latency-critical ("LC"): web, cache, search, ... */
+    LatencyCritical,
+    /** Throughput-oriented batch: hadoop, batchjob, dev, ... */
+    Batch,
+    /** I/O-bound storage backends with nightly compression peaks: db. */
+    Storage,
+    /** Infrastructure/lab services with weak diurnal structure. */
+    Infra,
+};
+
+/** Short printable name of a service class. */
+std::string serviceClassName(ServiceClass klass);
+
+/** True for classes the runtime treats as latency-critical. */
+inline bool
+isLatencyCritical(ServiceClass klass)
+{
+    return klass == ServiceClass::LatencyCritical;
+}
+
+/** True for classes the runtime may throttle/boost/convert. */
+inline bool
+isBatch(ServiceClass klass)
+{
+    return klass == ServiceClass::Batch;
+}
+
+/**
+ * Shape and heterogeneity parameters of one service.
+ *
+ * Per-instance power at time t is
+ *   p(t) = maxPowerWatts * (idleFraction
+ *          + (1 - idleFraction) * a_i(t) * pop_i * amp_i) + noise,
+ * where a_i(t) is the service activity curve shifted by the instance's
+ * phase jitter, pop_i its Zipf popularity weight, and amp_i its amplitude
+ * jitter.  The result is clamped to [0, maxPowerWatts].
+ */
+struct ServiceProfile {
+    std::string name;
+    ServiceClass klass = ServiceClass::LatencyCritical;
+
+    /** Nominal per-server maximum power (normalized units). */
+    double maxPowerWatts = 1.0;
+    /** Fraction of max power drawn at zero activity. */
+    double idleFraction = 0.30;
+
+    /** Hour-of-day (0-24) at which activity peaks. */
+    double peakHour = 14.0;
+    /** Gaussian sigma of the daily activity bump, in hours. */
+    double peakWidthHours = 4.0;
+    /** Hour of an optional secondary bump; negative disables it. */
+    double secondaryPeakHour = -1.0;
+    /** Weight of the secondary bump relative to the primary. */
+    double secondaryWeight = 0.0;
+    /** Activity floor (0-1): what remains at the quietest hour. */
+    double baseActivity = 0.25;
+    /** Activity multiplier applied on Saturday/Sunday. */
+    double weekendFactor = 0.85;
+    /** Amplitude of mild day-of-week variation (0 disables). */
+    double dayOfWeekVariation = 0.05;
+
+    /** Stddev of the per-instance phase shift, in hours. */
+    double phaseJitterHours = 0.5;
+    /** Stddev of the per-instance multiplicative amplitude jitter. */
+    double amplitudeJitterFrac = 0.05;
+    /** Zipf exponent of per-instance popularity (0 = uniform). */
+    double popularityZipf = 0.0;
+
+    /** Stddev of per-sample Gaussian measurement noise (power units). */
+    double noiseStd = 0.01;
+    /** Probability per day of a traffic burst on an instance. */
+    double burstsPerDay = 0.0;
+    /** Multiplier applied to activity during a burst. */
+    double burstMagnitude = 1.3;
+    /** Burst duration in minutes. */
+    int burstMinutes = 30;
+};
+
+} // namespace sosim::workload
+
+#endif // SOSIM_WORKLOAD_SERVICE_PROFILE_H

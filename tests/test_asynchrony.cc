@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit and property tests for the asynchrony score (Eq. 6-7), score
+ * vectors, the differential score (section 3.6), and S-trace extraction
+ * (Eq. 5).
+ */
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/asynchrony.h"
+#include "core/service_traces.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sosim::core;
+using sosim::trace::TimeSeries;
+using sosim::util::FatalError;
+
+TEST(AsynchronyScore, IdenticalTracesScoreExactlyCount)
+{
+    // Identical traces peak together: score = n * peak / (n * peak) ... =
+    // sum of peaks / aggregate peak = n*p / (n*p)?  No: aggregate of n
+    // identical traces peaks at n*p, so the score is exactly 1.
+    TimeSeries t({1.0, 3.0, 2.0}, 5);
+    EXPECT_DOUBLE_EQ(asynchronyScore({t, t}), 1.0);
+    EXPECT_DOUBLE_EQ(asynchronyScore({t, t, t, t}), 1.0);
+}
+
+TEST(AsynchronyScore, PerfectlyComplementaryPairScoresTwo)
+{
+    TimeSeries a({1.0, 0.0}, 5);
+    TimeSeries b({0.0, 1.0}, 5);
+    EXPECT_DOUBLE_EQ(asynchronyScore({a, b}), 2.0);
+    EXPECT_DOUBLE_EQ(pairAsynchronyScore(a, b), 2.0);
+}
+
+TEST(AsynchronyScore, SingletonScoresOne)
+{
+    TimeSeries t({0.5, 1.0}, 5);
+    EXPECT_DOUBLE_EQ(asynchronyScore({t}), 1.0);
+}
+
+TEST(AsynchronyScore, FigureThreeExample)
+{
+    // Figure 3 of the paper: two synchronous instances score 1.0; after
+    // swapping in an out-of-phase partner the score approaches 2.0.
+    TimeSeries sync1({1.0, 0.2}, 5);
+    TimeSeries sync2({1.0, 0.2}, 5);
+    TimeSeries anti({0.2, 1.0}, 5);
+    EXPECT_DOUBLE_EQ(asynchronyScore({sync1, sync2}), 1.0);
+    EXPECT_NEAR(asynchronyScore({sync1, anti}), 2.0 / 1.2, 1e-12);
+}
+
+TEST(AsynchronyScore, PointerOverloadMatchesValueOverload)
+{
+    TimeSeries a({1.0, 0.0}, 5);
+    TimeSeries b({0.0, 1.0}, 5);
+    const std::vector<const TimeSeries *> ptrs{&a, &b};
+    EXPECT_DOUBLE_EQ(asynchronyScore(ptrs),
+                     asynchronyScore(std::vector<TimeSeries>{a, b}));
+}
+
+TEST(AsynchronyScore, Validation)
+{
+    EXPECT_THROW(asynchronyScore(std::vector<const TimeSeries *>{}),
+                 FatalError);
+    TimeSeries a({1.0}, 5);
+    EXPECT_THROW(
+        asynchronyScore(std::vector<const TimeSeries *>{&a, nullptr}),
+        FatalError);
+    TimeSeries zero({0.0, 0.0}, 5);
+    EXPECT_THROW(asynchronyScore({zero, zero}), FatalError);
+}
+
+TEST(PairScore, SymmetricInItsArguments)
+{
+    TimeSeries a({1.0, 0.3, 0.5}, 5);
+    TimeSeries b({0.2, 0.9, 0.1}, 5);
+    EXPECT_DOUBLE_EQ(pairAsynchronyScore(a, b), pairAsynchronyScore(b, a));
+}
+
+/** Property: 1 <= A_M <= |M| for random non-negative traces. */
+class ScoreBounds : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ScoreBounds, ScoreWithinTheoreticalRange)
+{
+    std::mt19937 rng(GetParam());
+    std::uniform_real_distribution<double> dist(0.01, 1.0);
+    std::uniform_int_distribution<int> count(2, 6);
+    const int n = count(rng);
+    std::vector<TimeSeries> traces;
+    for (int i = 0; i < n; ++i) {
+        std::vector<double> samples(40);
+        for (auto &s : samples)
+            s = dist(rng);
+        traces.emplace_back(samples, 5);
+    }
+    const double score = asynchronyScore(traces);
+    EXPECT_GE(score, 1.0 - 1e-12);
+    EXPECT_LE(score, static_cast<double>(n) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreBounds, ::testing::Range(0u, 16u));
+
+TEST(ScoreVector, OneScorePerServiceTrace)
+{
+    TimeSeries i1({1.0, 0.1}, 5);
+    std::vector<TimeSeries> straces = {
+        TimeSeries({1.0, 0.1}, 5), // Synchronous with i1.
+        TimeSeries({0.1, 1.0}, 5), // Anti-phase.
+    };
+    const auto v = scoreVector(i1, straces);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 1.0);
+    EXPECT_NEAR(v[1], 2.0 / 1.1, 1e-12);
+    EXPECT_THROW(scoreVector(i1, {}), FatalError);
+}
+
+TEST(ScoreVector, BatchComputationMatchesSingle)
+{
+    std::vector<TimeSeries> itraces = {
+        TimeSeries({1.0, 0.2}, 5),
+        TimeSeries({0.2, 1.0}, 5),
+    };
+    std::vector<TimeSeries> straces = {TimeSeries({0.6, 0.6}, 5)};
+    const auto vs = scoreVectors(itraces, straces);
+    ASSERT_EQ(vs.size(), 2u);
+    EXPECT_DOUBLE_EQ(vs[0][0], scoreVector(itraces[0], straces)[0]);
+    EXPECT_DOUBLE_EQ(vs[1][0], scoreVector(itraces[1], straces)[0]);
+}
+
+TEST(DifferentialScore, MatchesPairScoreAgainstNodeAverage)
+{
+    TimeSeries inst({1.0, 0.0}, 5);
+    // Node others: two instances with aggregate {0.4, 1.6}.
+    TimeSeries others({0.4, 1.6}, 5);
+    const double expected =
+        pairAsynchronyScore(inst, others * 0.5);
+    EXPECT_DOUBLE_EQ(differentialScore(inst, others, 2), expected);
+    EXPECT_THROW(differentialScore(inst, others, 0), FatalError);
+}
+
+TEST(DifferentialScore, LowForSynchronousInstance)
+{
+    TimeSeries day_peak({1.0, 0.1}, 5);
+    TimeSeries night_peak({0.1, 1.0}, 5);
+    TimeSeries day_others = day_peak * 3.0;
+    const double sync_score = differentialScore(day_peak, day_others, 3);
+    const double async_score =
+        differentialScore(night_peak, day_others, 3);
+    EXPECT_LT(sync_score, async_score);
+    EXPECT_NEAR(sync_score, 1.0, 1e-12);
+}
+
+TEST(ServiceTrace, MeanOfMemberTraces)
+{
+    std::vector<TimeSeries> itraces = {
+        TimeSeries({1.0, 2.0}, 5),
+        TimeSeries({3.0, 4.0}, 5),
+        TimeSeries({100.0, 100.0}, 5),
+    };
+    const auto s = serviceTrace(itraces, {0, 1});
+    EXPECT_DOUBLE_EQ(s[0], 2.0);
+    EXPECT_DOUBLE_EQ(s[1], 3.0);
+    EXPECT_THROW(serviceTrace(itraces, {}), FatalError);
+    EXPECT_THROW(serviceTrace(itraces, {7}), FatalError);
+}
+
+TEST(ExtractServiceTraces, RanksByAggregatePower)
+{
+    // Service 0: two low-power instances.  Service 1: three high-power.
+    std::vector<TimeSeries> itraces = {
+        TimeSeries({0.1, 0.1}, 5), TimeSeries({0.1, 0.1}, 5),
+        TimeSeries({1.0, 1.0}, 5), TimeSeries({1.0, 1.0}, 5),
+        TimeSeries({1.0, 1.0}, 5),
+    };
+    std::vector<std::size_t> service_of = {0, 0, 1, 1, 1};
+    const auto set = extractServiceTraces(itraces, service_of, 2);
+    ASSERT_EQ(set.straces.size(), 2u);
+    EXPECT_EQ(set.serviceIds[0], 1u); // Higher aggregate power first.
+    EXPECT_EQ(set.serviceIds[1], 0u);
+    EXPECT_DOUBLE_EQ(set.straces[0][0], 1.0);
+    EXPECT_DOUBLE_EQ(set.straces[1][0], 0.1);
+}
+
+TEST(ExtractServiceTraces, TopMClampsToDistinctServices)
+{
+    std::vector<TimeSeries> itraces = {TimeSeries({1.0}, 5),
+                                       TimeSeries({2.0}, 5)};
+    std::vector<std::size_t> service_of = {0, 1};
+    const auto set = extractServiceTraces(itraces, service_of, 10);
+    EXPECT_EQ(set.straces.size(), 2u);
+}
+
+TEST(ExtractServiceTraces, Validation)
+{
+    std::vector<TimeSeries> itraces = {TimeSeries({1.0}, 5)};
+    EXPECT_THROW(extractServiceTraces({}, {}, 1), FatalError);
+    EXPECT_THROW(extractServiceTraces(itraces, {0, 1}, 1), FatalError);
+    EXPECT_THROW(extractServiceTraces(itraces, {0}, 0), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the baseline module: oblivious and random placements, and the
+ * StatProf / SmoOp provisioning comparison (Figure 11 machinery).
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baseline/oblivious.h"
+#include "baseline/statprof.h"
+#include "power/power_tree.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sosim;
+using sosim::trace::TimeSeries;
+using sosim::util::FatalError;
+
+power::TopologySpec
+smallTopology()
+{
+    power::TopologySpec spec;
+    spec.suites = 1;
+    spec.msbsPerSuite = 1;
+    spec.sbsPerMsb = 2;
+    spec.rppsPerSb = 2;
+    spec.racksPerRpp = 2; // 8 racks.
+    return spec;
+}
+
+TEST(Oblivious, GroupsSameServiceContiguously)
+{
+    power::PowerTree tree(smallTopology());
+    // 16 instances, 2 services of 8: each service fills 4 racks.
+    std::vector<std::size_t> service_of(16);
+    for (std::size_t i = 0; i < 16; ++i)
+        service_of[i] = i < 8 ? 0 : 1;
+    const auto assignment =
+        baseline::obliviousPlacement(tree, service_of);
+    ASSERT_EQ(assignment.size(), 16u);
+
+    // No rack hosts both services.
+    const auto per_rack = tree.instancesPerRack(assignment);
+    for (const auto rack : tree.racks()) {
+        bool has0 = false, has1 = false;
+        for (const auto i : per_rack[rack]) {
+            has0 |= service_of[i] == 0;
+            has1 |= service_of[i] == 1;
+        }
+        EXPECT_FALSE(has0 && has1) << "rack " << rack;
+    }
+}
+
+TEST(Oblivious, FillsRacksEvenly)
+{
+    power::PowerTree tree(smallTopology());
+    std::vector<std::size_t> service_of(24, 0); // 24 over 8 racks.
+    const auto assignment =
+        baseline::obliviousPlacement(tree, service_of);
+    const auto per_rack = tree.instancesPerRack(assignment);
+    for (const auto rack : tree.racks())
+        EXPECT_EQ(per_rack[rack].size(), 3u);
+}
+
+TEST(Oblivious, GroupsByServiceIdAcrossInterleavedInput)
+{
+    power::PowerTree tree(smallTopology());
+    // Interleaved service ids must still end up blocked together.
+    std::vector<std::size_t> service_of = {0, 1, 0, 1, 0, 1, 0, 1};
+    const auto assignment =
+        baseline::obliviousPlacement(tree, service_of);
+    // Instances of service 0 occupy the lowest racks.
+    for (std::size_t i = 0; i < 8; ++i) {
+        const bool service0 = service_of[i] == 0;
+        const auto rack_rank =
+            std::find(tree.racks().begin(), tree.racks().end(),
+                      assignment[i]) -
+            tree.racks().begin();
+        if (service0)
+            EXPECT_LT(rack_rank, 4);
+        else
+            EXPECT_GE(rack_rank, 4);
+    }
+}
+
+TEST(Oblivious, RejectsEmptyInput)
+{
+    power::PowerTree tree(smallTopology());
+    EXPECT_THROW(baseline::obliviousPlacement(tree, {}), FatalError);
+}
+
+TEST(RandomPlacement, EvenOccupancyAndDeterminism)
+{
+    power::PowerTree tree(smallTopology());
+    const auto a = baseline::randomPlacement(tree, 16, 3);
+    const auto b = baseline::randomPlacement(tree, 16, 3);
+    const auto c = baseline::randomPlacement(tree, 16, 4);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    const auto per_rack = tree.instancesPerRack(a);
+    for (const auto rack : tree.racks())
+        EXPECT_EQ(per_rack[rack].size(), 2u);
+    EXPECT_THROW(baseline::randomPlacement(tree, 0, 1), FatalError);
+}
+
+TEST(StatProf, ZeroConfigSumsInstancePeaks)
+{
+    power::PowerTree tree(smallTopology());
+    std::vector<TimeSeries> itraces = {
+        TimeSeries({1.0, 0.5}, 5),
+        TimeSeries({0.5, 2.0}, 5),
+    };
+    const auto report =
+        baseline::statProfRequiredBudget(tree, itraces, {});
+    // u = 0: per-level requirement is the sum of 100th percentiles.
+    EXPECT_DOUBLE_EQ(report.at(power::Level::Rpp), 3.0);
+    EXPECT_DOUBLE_EQ(report.at(power::Level::Rack), 3.0);
+    EXPECT_DOUBLE_EQ(report.at(power::Level::Datacenter), 3.0);
+    EXPECT_DOUBLE_EQ(baseline::sumOfInstancePeaks(itraces), 3.0);
+}
+
+TEST(StatProf, UnderProvisioningShavesPercentiles)
+{
+    power::PowerTree tree(smallTopology());
+    // 100 samples, values 0.01..1.00: the 90th percentile is ~0.9.
+    std::vector<double> ramp(100);
+    for (std::size_t i = 0; i < 100; ++i)
+        ramp[i] = 0.01 * static_cast<double>(i + 1);
+    std::vector<TimeSeries> itraces = {TimeSeries(ramp, 5)};
+    baseline::ProvisioningConfig config;
+    config.underProvisionPct = 10.0;
+    const auto report =
+        baseline::statProfRequiredBudget(tree, itraces, config);
+    EXPECT_NEAR(report.at(power::Level::Rpp), 0.9, 0.02);
+}
+
+TEST(StatProf, OverbookingOnlyAffectsDcLevel)
+{
+    power::PowerTree tree(smallTopology());
+    std::vector<TimeSeries> itraces = {TimeSeries({1.0, 1.0}, 5)};
+    baseline::ProvisioningConfig config;
+    config.overbookingDelta = 0.25;
+    const auto report =
+        baseline::statProfRequiredBudget(tree, itraces, config);
+    EXPECT_DOUBLE_EQ(report.at(power::Level::Rpp), 1.0);
+    EXPECT_DOUBLE_EQ(report.at(power::Level::Datacenter), 1.0 / 1.25);
+}
+
+TEST(StatProf, RejectsBadConfig)
+{
+    power::PowerTree tree(smallTopology());
+    std::vector<TimeSeries> itraces = {TimeSeries({1.0}, 5)};
+    baseline::ProvisioningConfig config;
+    config.underProvisionPct = 100.0;
+    EXPECT_THROW(baseline::statProfRequiredBudget(tree, itraces, config),
+                 FatalError);
+    config = {};
+    config.overbookingDelta = -0.1;
+    EXPECT_THROW(baseline::statProfRequiredBudget(tree, itraces, config),
+                 FatalError);
+    EXPECT_THROW(baseline::statProfRequiredBudget(tree, {}, {}),
+                 FatalError);
+}
+
+TEST(SmoOp, RequiredBudgetUsesAggregatePercentiles)
+{
+    power::PowerTree tree(smallTopology());
+    // Two anti-phase instances on the same rack: the aggregate is flat,
+    // so SmoOp needs far less than StatProf's sum of peaks.
+    std::vector<TimeSeries> itraces = {
+        TimeSeries({1.0, 0.1}, 5),
+        TimeSeries({0.1, 1.0}, 5),
+    };
+    power::Assignment assignment{tree.racks()[0], tree.racks()[0]};
+    const auto smoop = baseline::smoothOperatorRequiredBudget(
+        tree, itraces, assignment, {});
+    const auto statprof =
+        baseline::statProfRequiredBudget(tree, itraces, {});
+    EXPECT_DOUBLE_EQ(smoop.at(power::Level::Rack), 1.1);
+    EXPECT_DOUBLE_EQ(statprof.at(power::Level::Rack), 2.0);
+    EXPECT_LT(smoop.at(power::Level::Rack),
+              statprof.at(power::Level::Rack));
+}
+
+TEST(SmoOp, UnpopulatedNodesNeedNoBudget)
+{
+    power::PowerTree tree(smallTopology());
+    std::vector<TimeSeries> itraces = {TimeSeries({1.0, 1.0}, 5)};
+    power::Assignment assignment{tree.racks()[0]};
+    const auto report = baseline::smoothOperatorRequiredBudget(
+        tree, itraces, assignment, {});
+    // Only one rack/rpp/sb chain is populated: each level's requirement
+    // equals the single instance's power.
+    for (const auto level : power::kAllLevels)
+        EXPECT_DOUBLE_EQ(report.requiredBudgetByLevel[
+                             power::levelDepth(level)], 1.0);
+}
+
+TEST(SmoOp, LevelsAreMonotoneForSynchronousLoad)
+{
+    // With perfectly synchronous instances, aggregation gains nothing:
+    // every level requires the same budget.
+    power::PowerTree tree(smallTopology());
+    std::vector<TimeSeries> itraces(6, TimeSeries({1.0, 0.2}, 5));
+    power::Assignment assignment;
+    for (std::size_t i = 0; i < 6; ++i)
+        assignment.push_back(tree.racks()[i % tree.racks().size()]);
+    const auto report = baseline::smoothOperatorRequiredBudget(
+        tree, itraces, assignment, {});
+    const double rack = report.at(power::Level::Rack);
+    EXPECT_NEAR(report.at(power::Level::Datacenter), rack, 1e-9);
+}
+
+TEST(SmoOp, HigherLevelsNeverNeedMoreThanLowerLevels)
+{
+    // Aggregation can only help: required budget is non-increasing from
+    // leaves to root (before overbooking).
+    power::PowerTree tree(smallTopology());
+    std::vector<TimeSeries> itraces;
+    util::Rng rng(17);
+    for (int i = 0; i < 24; ++i) {
+        std::vector<double> s(48);
+        for (auto &x : s)
+            x = rng.uniform(0.1, 1.0);
+        itraces.emplace_back(s, 30);
+    }
+    const auto assignment = baseline::randomPlacement(tree, 24, 5);
+    const auto report = baseline::smoothOperatorRequiredBudget(
+        tree, itraces, assignment, {});
+    for (int d = 1; d < power::kNumLevels; ++d)
+        EXPECT_LE(report.requiredBudgetByLevel[d - 1],
+                  report.requiredBudgetByLevel[d] + 1e-9);
+}
+
+} // namespace

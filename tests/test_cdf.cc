@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for trace::Cdf and percentileAcross (the Figure 6 band
+ * computation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/cdf.h"
+#include "util/error.h"
+
+namespace {
+
+using sosim::trace::Cdf;
+using sosim::trace::TimeSeries;
+using sosim::trace::percentileAcross;
+using sosim::util::FatalError;
+
+TEST(Cdf, RejectsEmptyInput)
+{
+    EXPECT_THROW(Cdf(std::vector<double>{}), FatalError);
+}
+
+TEST(Cdf, MinMaxAndQuantiles)
+{
+    Cdf cdf(std::vector<double>{3.0, 1.0, 4.0, 2.0});
+    EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.max(), 4.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.5);
+    EXPECT_THROW(cdf.quantile(-0.1), FatalError);
+    EXPECT_THROW(cdf.quantile(1.1), FatalError);
+}
+
+TEST(Cdf, PercentileMatchesQuantile)
+{
+    Cdf cdf(std::vector<double>{1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(cdf.percentile(50.0), cdf.quantile(0.5));
+}
+
+TEST(Cdf, FromTimeSeriesUsesItsSamples)
+{
+    TimeSeries ts({5.0, 1.0, 3.0}, 5);
+    Cdf cdf(ts);
+    EXPECT_EQ(cdf.size(), 3u);
+    EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+}
+
+TEST(Cdf, CumulativeProbabilityCountsFraction)
+{
+    Cdf cdf(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(cdf.cumulativeProbability(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.cumulativeProbability(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.cumulativeProbability(10.0), 1.0);
+}
+
+TEST(Cdf, SingleSampleIsConstant)
+{
+    Cdf cdf(std::vector<double>{2.0});
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.3), 2.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.9), 2.0);
+}
+
+TEST(Cdf, QuantileIsMonotone)
+{
+    Cdf cdf(std::vector<double>{0.4, 0.1, 0.9, 0.6, 0.2, 0.8});
+    double prev = cdf.quantile(0.0);
+    for (double q = 0.05; q <= 1.0; q += 0.05) {
+        const double cur = cdf.quantile(q);
+        EXPECT_GE(cur, prev - 1e-12);
+        prev = cur;
+    }
+}
+
+TEST(PercentileAcross, ComputesPerTimestampBands)
+{
+    TimeSeries a({1.0, 10.0}, 5);
+    TimeSeries b({2.0, 20.0}, 5);
+    TimeSeries c({3.0, 30.0}, 5);
+    const std::vector<const TimeSeries *> traces{&a, &b, &c};
+    const auto p0 = percentileAcross(traces, 0.0);
+    const auto p50 = percentileAcross(traces, 50.0);
+    const auto p100 = percentileAcross(traces, 100.0);
+    EXPECT_DOUBLE_EQ(p0[0], 1.0);
+    EXPECT_DOUBLE_EQ(p50[0], 2.0);
+    EXPECT_DOUBLE_EQ(p100[1], 30.0);
+    EXPECT_EQ(p50.intervalMinutes(), 5);
+}
+
+TEST(PercentileAcross, RejectsBadInput)
+{
+    TimeSeries a({1.0, 2.0}, 5);
+    TimeSeries misaligned({1.0}, 5);
+    EXPECT_THROW(percentileAcross({}, 50.0), FatalError);
+    EXPECT_THROW(percentileAcross({&a, nullptr}, 50.0), FatalError);
+    EXPECT_THROW(percentileAcross({&a, &misaligned}, 50.0), FatalError);
+    EXPECT_THROW(percentileAcross({&a}, 101.0), FatalError);
+}
+
+TEST(PercentileAcross, SingleTraceReturnsItself)
+{
+    TimeSeries a({1.0, 2.0, 3.0}, 5);
+    const auto p = percentileAcross({&a}, 25.0);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(p[i], a[i]);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Edge-case tests across modules: boundary dimensions, degenerate
+ * topologies, and API corners that the mainline suites do not reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/tsne.h"
+#include "core/asynchrony.h"
+#include "core/placement.h"
+#include "power/power_tree.h"
+#include "sim/dvfs.h"
+#include "trace/forecast.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sosim;
+using sosim::trace::TimeSeries;
+using sosim::util::FatalError;
+
+TEST(EdgeTopology, SingleRackTreeWorks)
+{
+    power::TopologySpec spec;
+    spec.suites = 1;
+    spec.msbsPerSuite = 1;
+    spec.sbsPerMsb = 1;
+    spec.rppsPerSb = 1;
+    spec.racksPerRpp = 1;
+    power::PowerTree tree(spec);
+    EXPECT_EQ(tree.racks().size(), 1u);
+    EXPECT_EQ(tree.nodeCount(), 6u); // One node per level.
+
+    // Placement onto a single rack is trivial but must still work.
+    std::vector<TimeSeries> itraces = {TimeSeries({1.0, 0.5}, 60),
+                                       TimeSeries({0.5, 1.0}, 60)};
+    std::vector<std::size_t> service_of = {0, 1};
+    core::PlacementEngine engine(tree, {});
+    const auto assignment = engine.place(itraces, service_of);
+    EXPECT_EQ(assignment[0], tree.racks()[0]);
+    EXPECT_EQ(assignment[1], tree.racks()[0]);
+}
+
+TEST(EdgeTopology, DeepNarrowTreeAggregates)
+{
+    power::TopologySpec spec;
+    spec.suites = 1;
+    spec.msbsPerSuite = 1;
+    spec.sbsPerMsb = 1;
+    spec.rppsPerSb = 1;
+    spec.racksPerRpp = 8;
+    power::PowerTree tree(spec);
+    std::vector<TimeSeries> itraces(8, TimeSeries({1.0}, 60));
+    power::Assignment assignment;
+    for (std::size_t i = 0; i < 8; ++i)
+        assignment.push_back(tree.racks()[i]);
+    const auto traces = tree.aggregateTraces(itraces, assignment);
+    // Every interior level holds the full 8.0.
+    for (const auto level :
+         {power::Level::Datacenter, power::Level::Suite,
+          power::Level::Msb, power::Level::Sb, power::Level::Rpp})
+        EXPECT_DOUBLE_EQ(tree.sumOfPeaks(traces, level), 8.0);
+}
+
+TEST(EdgeTsne, OutputDimsAboveInputDimsZeroPads)
+{
+    // 1-D input embedded into 2-D: the second coordinate starts as
+    // jitter only, and the run must not crash.
+    util::Rng rng(3);
+    std::vector<cluster::Point> points;
+    for (int i = 0; i < 10; ++i)
+        points.push_back({rng.uniform(0.0, 1.0)});
+    cluster::TsneConfig config;
+    config.outputDims = 2;
+    config.iterations = 20;
+    const auto out = cluster::tsne(points, config);
+    ASSERT_EQ(out.size(), 10u);
+    EXPECT_EQ(out[0].size(), 2u);
+}
+
+TEST(EdgeAsynchrony, ManyIdenticalFlatTraces)
+{
+    // Flat traces: peak of sum = sum of peaks exactly -> score 1.
+    std::vector<TimeSeries> traces(7, TimeSeries::constant(5, 0.4, 60));
+    EXPECT_DOUBLE_EQ(core::asynchronyScore(traces), 1.0);
+}
+
+TEST(EdgeAsynchrony, MixedMagnitudesStayInBounds)
+{
+    // A tiny trace next to a huge one: score near 1 but valid.
+    TimeSeries small = TimeSeries::constant(4, 1e-6, 60);
+    TimeSeries big = TimeSeries::constant(4, 1e6, 60);
+    const double score = core::asynchronyScore({small, big});
+    EXPECT_GE(score, 1.0 - 1e-12);
+    EXPECT_LE(score, 2.0 + 1e-12);
+}
+
+TEST(EdgeDvfs, DegenerateFrequencyWindow)
+{
+    // min == max == 1: the model collapses to a fixed point.
+    sim::DvfsModel m(0.4, 3.0, 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(m.powerAt(0.2), 1.0);
+    EXPECT_DOUBLE_EQ(m.powerAt(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(m.throughputAt(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(m.frequencyForPower(0.5), 1.0);
+}
+
+TEST(EdgeDvfs, LinearExponentStillInverts)
+{
+    sim::DvfsModel m(0.0, 1.0, 0.5, 1.2);
+    EXPECT_DOUBLE_EQ(m.powerAt(0.8), 0.8);
+    EXPECT_NEAR(m.frequencyForPower(0.8), 0.8, 1e-12);
+}
+
+TEST(EdgeForecast, SingleWeekHistory)
+{
+    std::vector<TimeSeries> one = {TimeSeries({1.0, 2.0}, 60)};
+    const auto naive = trace::seasonalNaiveForecast(one);
+    const auto weighted = trace::exponentialWeightedForecast(one, 0.3);
+    const auto trended = trace::trendAdjustedForecast(one, 0.3);
+    for (std::size_t t = 0; t < 2; ++t) {
+        EXPECT_DOUBLE_EQ(naive[t], one[0][t]);
+        EXPECT_DOUBLE_EQ(weighted[t], one[0][t]);
+        EXPECT_DOUBLE_EQ(trended[t], one[0][t]);
+    }
+    EXPECT_DOUBLE_EQ(trace::fittedWeeklyGrowth(one), 0.0);
+}
+
+TEST(EdgeForecast, ZeroMeanWeeksYieldZeroGrowth)
+{
+    std::vector<TimeSeries> weeks = {TimeSeries::zeros(3, 60),
+                                     TimeSeries::zeros(3, 60)};
+    EXPECT_DOUBLE_EQ(trace::fittedWeeklyGrowth(weeks), 0.0);
+}
+
+TEST(EdgePlacement, AllInstancesOneService)
+{
+    // A datacenter running a single service end to end: the embedding
+    // space is 1-D and every score is against the service's own trace.
+    power::TopologySpec spec;
+    spec.suites = 1;
+    spec.msbsPerSuite = 1;
+    spec.sbsPerMsb = 1;
+    spec.rppsPerSb = 2;
+    spec.racksPerRpp = 2;
+    power::PowerTree tree(spec);
+
+    util::Rng rng(5);
+    std::vector<TimeSeries> itraces;
+    std::vector<std::size_t> service_of(12, 0);
+    for (int i = 0; i < 12; ++i) {
+        std::vector<double> s(24);
+        for (auto &x : s)
+            x = rng.uniform(0.2, 1.0);
+        itraces.emplace_back(s, 60);
+    }
+    core::PlacementEngine engine(tree, {});
+    const auto assignment = engine.place(itraces, service_of);
+    const auto per_rack = tree.instancesPerRack(assignment);
+    for (const auto rack : tree.racks())
+        EXPECT_EQ(per_rack[rack].size(), 3u);
+}
+
+TEST(EdgeTimeSeries, ResampleToFullDurationYieldsOneSample)
+{
+    TimeSeries ts({1.0, 3.0, 5.0, 7.0}, 15);
+    const auto r = ts.resample(60);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_DOUBLE_EQ(r[0], 4.0);
+    EXPECT_DOUBLE_EQ(r.mean(), ts.mean());
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the trace forecasters and the generator's secular-growth
+ * knob they are designed to track.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/forecast.h"
+#include "util/error.h"
+#include "workload/catalog.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim::trace;
+using sosim::util::FatalError;
+
+std::vector<TimeSeries>
+growingWeeks(double growth, int weeks = 4)
+{
+    // A simple two-phase weekly profile that scales by (1+growth)/week.
+    std::vector<TimeSeries> out;
+    double scale = 1.0;
+    for (int w = 0; w < weeks; ++w) {
+        out.emplace_back(std::vector<double>{0.5 * scale, 1.0 * scale,
+                                             0.7 * scale, 0.4 * scale},
+                         60);
+        scale *= 1.0 + growth;
+    }
+    return out;
+}
+
+TEST(Forecast, SeasonalNaiveReturnsLastWeek)
+{
+    const auto weeks = growingWeeks(0.1);
+    const auto f = seasonalNaiveForecast(weeks);
+    for (std::size_t t = 0; t < f.size(); ++t)
+        EXPECT_DOUBLE_EQ(f[t], weeks.back()[t]);
+    EXPECT_THROW(seasonalNaiveForecast({}), FatalError);
+}
+
+TEST(Forecast, AlphaOneIsThePlainAverage)
+{
+    const auto weeks = growingWeeks(0.0);
+    const auto f = exponentialWeightedForecast(weeks, 1.0);
+    const auto avg = averageWeeks(weeks);
+    for (std::size_t t = 0; t < f.size(); ++t)
+        EXPECT_NEAR(f[t], avg[t], 1e-12);
+}
+
+TEST(Forecast, SmallAlphaTracksRecentWeeks)
+{
+    const auto weeks = growingWeeks(0.20);
+    const auto heavy_decay = exponentialWeightedForecast(weeks, 0.1);
+    const auto light_decay = exponentialWeightedForecast(weeks, 0.9);
+    // Growth means the last week is the largest; stronger decay lands
+    // closer to it.
+    EXPECT_GT(heavy_decay.mean(), light_decay.mean());
+    EXPECT_LE(heavy_decay.mean(), weeks.back().mean() + 1e-12);
+}
+
+TEST(Forecast, WeightedForecastValidates)
+{
+    const auto weeks = growingWeeks(0.0);
+    EXPECT_THROW(exponentialWeightedForecast(weeks, 0.0), FatalError);
+    EXPECT_THROW(exponentialWeightedForecast(weeks, 1.5), FatalError);
+    std::vector<TimeSeries> ragged = {TimeSeries({1.0}, 60),
+                                      TimeSeries({1.0, 2.0}, 60)};
+    EXPECT_THROW(exponentialWeightedForecast(ragged, 0.5), FatalError);
+}
+
+TEST(Forecast, FittedGrowthRecoversTheTrend)
+{
+    EXPECT_NEAR(fittedWeeklyGrowth(growingWeeks(0.05)), 0.05, 1e-9);
+    EXPECT_NEAR(fittedWeeklyGrowth(growingWeeks(0.0)), 0.0, 1e-12);
+    EXPECT_NEAR(fittedWeeklyGrowth(growingWeeks(-0.10)), -0.10, 1e-9);
+    EXPECT_DOUBLE_EQ(fittedWeeklyGrowth(growingWeeks(0.3, 1)), 0.0);
+}
+
+TEST(Forecast, TrendAdjustedBeatsAverageUnderGrowth)
+{
+    const double growth = 0.08;
+    auto weeks = growingWeeks(growth, 5);
+    // Hold out the last week as the "future".
+    const auto actual = weeks.back();
+    weeks.pop_back();
+
+    const auto plain = averageWeeks(weeks);
+    const auto trended = trendAdjustedForecast(weeks, 0.3);
+    EXPECT_LT(mape(actual, trended), mape(actual, plain));
+    EXPECT_LT(mape(actual, trended), 0.04);
+}
+
+TEST(Forecast, TrendAdjustedEqualsProfileWithoutTrend)
+{
+    const auto weeks = growingWeeks(0.0);
+    const auto profile = exponentialWeightedForecast(weeks, 0.5);
+    const auto trended = trendAdjustedForecast(weeks, 0.5);
+    for (std::size_t t = 0; t < profile.size(); ++t)
+        EXPECT_NEAR(trended[t], profile[t], 1e-12);
+}
+
+TEST(Forecast, MapeBasicsAndValidation)
+{
+    TimeSeries actual({1.0, 2.0}, 60);
+    TimeSeries forecast({1.1, 1.8}, 60);
+    EXPECT_NEAR(mape(actual, forecast), (0.1 + 0.1) / 2.0, 1e-12);
+    TimeSeries zero({0.0, 0.0}, 60);
+    EXPECT_THROW(mape(zero, forecast), FatalError);
+    TimeSeries misaligned({1.0}, 60);
+    EXPECT_THROW(mape(actual, misaligned), FatalError);
+}
+
+TEST(Forecast, GeneratorGrowthKnobProducesTrendingWeeks)
+{
+    sosim::workload::DatacenterSpec spec;
+    spec.name = "growth";
+    spec.intervalMinutes = 60;
+    spec.weeks = 4;
+    spec.seed = 3;
+    spec.weeklyGrowth = 0.06;
+    spec.weekScaleStd = 0.0; // Isolate the deterministic trend.
+    spec.services.push_back({sosim::workload::webFrontend(), 4});
+    const auto dc = sosim::workload::generate(spec);
+
+    std::vector<TimeSeries> weeks;
+    for (int w = 0; w < 4; ++w)
+        weeks.push_back(dc.weekTrace(0, w));
+    const double fitted = fittedWeeklyGrowth(weeks);
+    // Power = idle + dynamic * activity: only the dynamic part grows,
+    // and clamping shaves peaks, so the fitted power growth is positive
+    // but below the 6% activity growth.
+    EXPECT_GT(fitted, 0.015);
+    EXPECT_LT(fitted, 0.06);
+}
+
+TEST(Forecast, TrendForecastTracksGeneratedGrowth)
+{
+    sosim::workload::DatacenterSpec spec;
+    spec.name = "growth2";
+    spec.intervalMinutes = 30;
+    spec.weeks = 5;
+    spec.seed = 11;
+    spec.weeklyGrowth = 0.05;
+    spec.services.push_back({sosim::workload::dbBackend(), 6});
+    const auto dc = sosim::workload::generate(spec);
+
+    double trended_total = 0.0, plain_total = 0.0;
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i) {
+        std::vector<TimeSeries> history;
+        for (int w = 0; w < 4; ++w)
+            history.push_back(dc.weekTrace(i, w));
+        const auto &actual = dc.weekTrace(i, 4);
+        trended_total += mape(actual, trendAdjustedForecast(history));
+        plain_total += mape(actual, averageWeeks(history));
+    }
+    EXPECT_LT(trended_total, plain_total);
+}
+
+} // namespace

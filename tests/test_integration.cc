@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Integration tests: the full SmoothOperator pipeline (generate traces ->
+ * train -> place -> evaluate on the held-out week -> remap -> reshape) on
+ * reduced-scale versions of the paper's three datacenters, asserting the
+ * qualitative results the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/oblivious.h"
+#include "baseline/statprof.h"
+#include "core/headroom.h"
+#include "core/placement.h"
+#include "core/remap.h"
+#include "sim/reshape.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim;
+
+struct PipelineResult {
+    workload::DatacenterSpec spec;
+    core::HeadroomReport headroom;
+    double rppReduction = 0.0;
+};
+
+PipelineResult
+runPlacementPipeline(const workload::DatacenterSpec &spec)
+{
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    const auto test = dc.testTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+
+    power::PowerTree tree(spec.topology);
+    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
+    core::PlacementEngine engine(tree, {});
+    const auto optimized = engine.place(training, service_of);
+
+    PipelineResult result;
+    result.spec = spec;
+    result.headroom =
+        core::comparePlacements(tree, test, oblivious, optimized);
+    result.rppReduction =
+        result.headroom.at(power::Level::Rpp).peakReductionFraction;
+    return result;
+}
+
+workload::PresetOptions
+reducedScale()
+{
+    workload::PresetOptions options;
+    options.scale = 0.25;      // ~384 instances per DC.
+    options.intervalMinutes = 15;
+    return options;
+}
+
+TEST(Integration, HeterogeneousDcGainsMoreThanHomogeneousDc)
+{
+    // The paper's central placement result (Figure 10): DC1, with little
+    // temporal heterogeneity, gains least; DC3 gains most.
+    const auto specs = workload::buildAllDcSpecs(reducedScale());
+    const auto dc1 = runPlacementPipeline(specs[0]);
+    const auto dc3 = runPlacementPipeline(specs[2]);
+    EXPECT_GT(dc3.rppReduction, dc1.rppReduction + 0.02);
+    EXPECT_GT(dc3.rppReduction, 0.05);
+    EXPECT_GE(dc1.rppReduction, -0.01);
+}
+
+TEST(Integration, ReductionGrowsTowardTheLeaves)
+{
+    // Fragmentation is worst at the bottom of the tree (section 5.2.1).
+    const auto specs = workload::buildAllDcSpecs(reducedScale());
+    const auto result = runPlacementPipeline(specs[2]);
+    const double suite =
+        result.headroom.at(power::Level::Suite).peakReductionFraction;
+    const double rpp =
+        result.headroom.at(power::Level::Rpp).peakReductionFraction;
+    EXPECT_GE(rpp, suite - 0.01);
+    // The DC level never changes: the total trace is placement-invariant.
+    EXPECT_NEAR(result.headroom.at(power::Level::Datacenter)
+                    .peakReductionFraction,
+                0.0, 1e-9);
+}
+
+TEST(Integration, TestWeekGainsSurviveTrainTestSplit)
+{
+    // The placement is derived from weeks 1-2 and all gains above are
+    // evaluated on week 3; additionally check training-week gains are of
+    // similar magnitude (no train-only artifact).
+    const auto specs = workload::buildAllDcSpecs(reducedScale());
+    const auto spec = specs[2];
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    const auto test = dc.testTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    power::PowerTree tree(spec.topology);
+    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
+    core::PlacementEngine engine(tree, {});
+    const auto optimized = engine.place(training, service_of);
+
+    const auto on_train =
+        core::comparePlacements(tree, training, oblivious, optimized);
+    const auto on_test =
+        core::comparePlacements(tree, test, oblivious, optimized);
+    const double train_rpp =
+        on_train.at(power::Level::Rpp).peakReductionFraction;
+    const double test_rpp =
+        on_test.at(power::Level::Rpp).peakReductionFraction;
+    EXPECT_GT(test_rpp, 0.5 * train_rpp);
+}
+
+TEST(Integration, RemapperRecoversFromWorkloadDrift)
+{
+    // Section 3.6: after a drift (here: a different week with its own
+    // wobble), incremental swaps improve the stale placement.
+    const auto specs = workload::buildAllDcSpecs(reducedScale());
+    const auto spec = specs[2];
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    const auto test = dc.testTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+
+    power::PowerTree tree(spec.topology);
+    // A deliberately stale placement: oblivious.
+    auto assignment = baseline::obliviousPlacement(tree, service_of);
+    const double before = tree.sumOfPeaks(
+        tree.aggregateTraces(test, assignment), power::Level::Rack);
+
+    core::RemapConfig config;
+    config.maxSwaps = 30;
+    core::Remapper remapper(tree, config);
+    const auto swaps = remapper.refine(assignment, test);
+    EXPECT_FALSE(swaps.empty());
+    const double after = tree.sumOfPeaks(
+        tree.aggregateTraces(test, assignment), power::Level::Rack);
+    EXPECT_LT(after, before);
+}
+
+TEST(Integration, SmoOpRequiresLessBudgetThanStatProf)
+{
+    // Figure 11's headline: SmoOp(0,0) beats even ambitious StatProf
+    // configurations at the leaf levels.
+    const auto specs = workload::buildAllDcSpecs(reducedScale());
+    const auto spec = specs[2];
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    power::PowerTree tree(spec.topology);
+    core::PlacementEngine engine(tree, {});
+    const auto optimized = engine.place(training, service_of);
+
+    const auto smoop = baseline::smoothOperatorRequiredBudget(
+        tree, training, optimized, {});
+    baseline::ProvisioningConfig ambitious;
+    ambitious.underProvisionPct = 10.0;
+    ambitious.overbookingDelta = 0.1;
+    const auto statprof =
+        baseline::statProfRequiredBudget(tree, training, ambitious);
+
+    EXPECT_LT(smoop.at(power::Level::Rpp),
+              statprof.at(power::Level::Rpp));
+    EXPECT_LT(smoop.at(power::Level::Sb), statprof.at(power::Level::Sb));
+}
+
+TEST(Integration, EndToEndReshapeProducesPaperShapedGains)
+{
+    const auto specs = workload::buildAllDcSpecs(reducedScale());
+    const auto result = runPlacementPipeline(specs[2]);
+    const double headroom = result.headroom.extraServerFraction();
+    ASSERT_GT(headroom, 0.02);
+
+    const auto dc = workload::generate(specs[2]);
+    const auto inputs = sim::buildReshapeInputs(dc, headroom);
+
+    sim::ReshapeConfig conv;
+    conv.mode = sim::ReshapeMode::Conversion;
+    const auto conv_result = sim::ReshapeSimulator(inputs, conv).run();
+    // LC throughput tracks the unlocked headroom; Batch rides along.
+    EXPECT_NEAR(conv_result.lcThroughputGain, headroom, 0.03);
+    EXPECT_GT(conv_result.batchThroughputGain, 0.0);
+    EXPECT_GT(conv_result.averageSlackReduction, 0.0);
+
+    sim::ReshapeConfig tb;
+    tb.mode = sim::ReshapeMode::ConversionThrottleBoost;
+    const auto tb_result = sim::ReshapeSimulator(inputs, tb).run();
+    EXPECT_GE(tb_result.lcThroughputGain, conv_result.lcThroughputGain);
+    EXPECT_GT(tb_result.averageSlackReduction,
+              conv_result.averageSlackReduction);
+}
+
+TEST(Integration, WholePipelineIsDeterministic)
+{
+    const auto specs = workload::buildAllDcSpecs(reducedScale());
+    const auto a = runPlacementPipeline(specs[1]);
+    const auto b = runPlacementPipeline(specs[1]);
+    EXPECT_DOUBLE_EQ(a.rppReduction, b.rppReduction);
+}
+
+} // namespace

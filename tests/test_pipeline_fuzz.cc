@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Randomized pipeline invariants: across many randomly drawn datacenter
+ * specifications (service mixes, counts, topologies, seeds), the whole
+ * generate -> embed -> cluster -> place pipeline must uphold its
+ * contracts.  This is a cheap fuzz harness over the public API surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/oblivious.h"
+#include "core/asynchrony.h"
+#include "core/headroom.h"
+#include "core/placement.h"
+#include "core/service_traces.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim;
+
+workload::DatacenterSpec
+randomSpec(std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    workload::DatacenterSpec spec;
+    spec.name = "fuzz";
+    spec.topology.suites = static_cast<int>(rng.uniformInt(1, 2));
+    spec.topology.msbsPerSuite = static_cast<int>(rng.uniformInt(1, 2));
+    spec.topology.sbsPerMsb = static_cast<int>(rng.uniformInt(1, 2));
+    spec.topology.rppsPerSb = static_cast<int>(rng.uniformInt(1, 3));
+    spec.topology.racksPerRpp = static_cast<int>(rng.uniformInt(1, 3));
+    spec.intervalMinutes = 60;
+    spec.weeks = static_cast<int>(rng.uniformInt(2, 4));
+    spec.seed = seed * 977;
+    spec.weeklyGrowth = rng.uniform(0.0, 0.05);
+
+    const std::vector<workload::ServiceProfile> pool = {
+        workload::webFrontend(), workload::cache(),
+        workload::search(),      workload::dbBackend(),
+        workload::hadoop(),      workload::mobileDev(),
+        workload::labServer(),   workload::photoStorage(),
+        workload::batchJob(),    workload::instagram(),
+    };
+    const int services = static_cast<int>(rng.uniformInt(2, 6));
+    for (int s = 0; s < services; ++s) {
+        auto profile = pool[static_cast<std::size_t>(
+            rng.uniformInt(0, (std::int64_t)pool.size() - 1))];
+        profile.name += "#" + std::to_string(s); // Distinct ids anyway.
+        spec.services.push_back(
+            {profile, static_cast<int>(rng.uniformInt(3, 24))});
+    }
+    return spec;
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PipelineFuzz, InvariantsHoldOnRandomSpecs)
+{
+    const auto spec = randomSpec(GetParam());
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    const auto test = dc.testTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+
+    // Generation invariants.
+    ASSERT_EQ(training.size(), dc.instanceCount());
+    for (std::size_t i = 0; i < training.size(); ++i) {
+        EXPECT_GE(training[i].valley(), 0.0);
+        EXPECT_LE(training[i].peak(), 1.2);
+    }
+
+    // Embedding invariants: every I-to-S score in [1, 2].
+    const auto straces = core::extractServiceTraces(
+        training, service_of, 10);
+    const auto vectors = core::scoreVectors(training, straces.straces);
+    for (const auto &v : vectors)
+        for (const auto s : v) {
+            EXPECT_GE(s, 1.0 - 1e-9);
+            EXPECT_LE(s, 2.0 + 1e-9);
+        }
+
+    // Placement invariants.
+    power::PowerTree tree(spec.topology);
+    core::PlacementEngine engine(tree, {});
+    const auto placement = engine.place(training, service_of);
+    ASSERT_EQ(placement.size(), dc.instanceCount());
+    const auto per_rack = tree.instancesPerRack(placement);
+    std::size_t min_load = dc.instanceCount(), max_load = 0;
+    for (const auto rack : tree.racks()) {
+        min_load = std::min(min_load, per_rack[rack].size());
+        max_load = std::max(max_load, per_rack[rack].size());
+    }
+    // Even occupancy: the hierarchical deal never skews a rack by more
+    // than the cluster granularity allows.
+    EXPECT_LE(max_load - min_load,
+              dc.instanceCount() / tree.racks().size() + 4);
+
+    // Headroom accounting invariants.
+    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
+    const auto report =
+        core::comparePlacements(tree, test, oblivious, placement);
+    EXPECT_NEAR(report.at(power::Level::Datacenter).peakReductionFraction,
+                0.0, 1e-9);
+    // The workload-aware placement never fragments leaf budgets
+    // meaningfully worse than the oblivious baseline.
+    EXPECT_GE(report.at(power::Level::Rack).peakReductionFraction, -0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+} // namespace

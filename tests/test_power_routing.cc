@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the Power Routing baseline (dual-corded feed balancing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/oblivious.h"
+#include "baseline/power_routing.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sosim;
+using baseline::PowerRoutingConfig;
+using baseline::routePower;
+using sosim::trace::TimeSeries;
+using sosim::util::FatalError;
+
+power::TopologySpec
+smallTopology()
+{
+    power::TopologySpec spec;
+    spec.suites = 1;
+    spec.msbsPerSuite = 1;
+    spec.sbsPerMsb = 2;
+    spec.rppsPerSb = 2;
+    spec.racksPerRpp = 1; // 4 racks, 4 RPPs, one rack per RPP.
+    return spec;
+}
+
+TEST(PowerRouting, ConservesTotalPower)
+{
+    power::PowerTree tree(smallTopology());
+    util::Rng rng(1);
+    std::vector<TimeSeries> itraces;
+    power::Assignment assignment;
+    for (std::size_t i = 0; i < 8; ++i) {
+        std::vector<double> s(12);
+        for (auto &x : s)
+            x = rng.uniform(0.1, 1.0);
+        itraces.emplace_back(s, 60);
+        assignment.push_back(tree.racks()[i % 4]);
+    }
+    const auto result = routePower(tree, itraces, assignment);
+
+    // At every timestep the routed feed totals sum to the total load.
+    for (std::size_t t = 0; t < 12; ++t) {
+        double total = 0.0;
+        for (const auto &trace : itraces)
+            total += trace[t];
+        double routed = 0.0;
+        for (const auto rpp : tree.nodesAtLevel(power::Level::Rpp))
+            routed += result.rppTraces[rpp][t];
+        EXPECT_NEAR(routed, total, 1e-9);
+    }
+}
+
+TEST(PowerRouting, BalancesAFragmentedPlacement)
+{
+    // All load on one RPP's rack: routing must move about half of it to
+    // the secondary feed, cutting the required capacity.
+    power::PowerTree tree(smallTopology());
+    std::vector<TimeSeries> itraces = {TimeSeries({1.0, 1.0}, 60),
+                                       TimeSeries({1.0, 1.0}, 60)};
+    power::Assignment assignment{tree.racks()[0], tree.racks()[0]};
+    const auto result = routePower(tree, itraces, assignment);
+    EXPECT_DOUBLE_EQ(result.sumOfUnroutedPeaks, 2.0);
+    // With a single dual-corded rack, an even split is optimal.
+    EXPECT_NEAR(result.sumOfRoutedPeaks, 2.0, 1e-6);
+    const auto &rpps = tree.nodesAtLevel(power::Level::Rpp);
+    EXPECT_NEAR(result.rppTraces[rpps[0]][0], 1.0, 1e-6);
+    EXPECT_NEAR(result.rppTraces[rpps[1]][0], 1.0, 1e-6);
+}
+
+TEST(PowerRouting, ReducesSumOfPeaksForAntiphaseRacks)
+{
+    // Two racks with anti-phase peaks, cross-corded: routing shifts
+    // each rack's peak onto the feed that is quiet at that moment.
+    power::PowerTree tree(smallTopology());
+    std::vector<TimeSeries> itraces = {TimeSeries({1.0, 0.2}, 60),
+                                       TimeSeries({0.2, 1.0}, 60)};
+    power::Assignment assignment{tree.racks()[0], tree.racks()[1]};
+    PowerRoutingConfig config;
+    config.secondaryOffset = 1;
+    const auto result = routePower(tree, itraces, assignment, config);
+    EXPECT_DOUBLE_EQ(result.sumOfUnroutedPeaks, 2.0);
+    EXPECT_LT(result.sumOfRoutedPeaks, result.sumOfUnroutedPeaks - 0.2);
+}
+
+TEST(PowerRouting, NeverWorseThanUnrouted)
+{
+    power::PowerTree tree(smallTopology());
+    util::Rng rng(7);
+    for (int trial = 0; trial < 5; ++trial) {
+        std::vector<TimeSeries> itraces;
+        power::Assignment assignment;
+        for (std::size_t i = 0; i < 12; ++i) {
+            std::vector<double> s(24);
+            for (auto &x : s)
+                x = rng.uniform(0.0, 1.0);
+            itraces.emplace_back(s, 60);
+            assignment.push_back(tree.racks()[static_cast<std::size_t>(
+                rng.uniformInt(0, 3))]);
+        }
+        const auto result = routePower(tree, itraces, assignment);
+        EXPECT_LE(result.sumOfRoutedPeaks,
+                  result.sumOfUnroutedPeaks + 1e-6);
+    }
+}
+
+TEST(PowerRouting, SecondaryOffsetChangesCording)
+{
+    power::PowerTree tree(smallTopology());
+    std::vector<TimeSeries> itraces = {TimeSeries({1.0}, 60)};
+    power::Assignment assignment{tree.racks()[0]};
+    PowerRoutingConfig near;
+    near.secondaryOffset = 1;
+    PowerRoutingConfig far;
+    far.secondaryOffset = 2;
+    const auto near_result = routePower(tree, itraces, assignment, near);
+    const auto far_result = routePower(tree, itraces, assignment, far);
+    const auto &rpps = tree.nodesAtLevel(power::Level::Rpp);
+    EXPECT_GT(near_result.rppTraces[rpps[1]][0], 0.4);
+    EXPECT_GT(far_result.rppTraces[rpps[2]][0], 0.4);
+    EXPECT_NEAR(far_result.rppTraces[rpps[1]][0], 0.0, 1e-9);
+}
+
+TEST(PowerRouting, ValidatesInput)
+{
+    power::PowerTree tree(smallTopology());
+    std::vector<TimeSeries> itraces = {TimeSeries({1.0}, 60)};
+    power::Assignment assignment{tree.racks()[0]};
+    EXPECT_THROW(routePower(tree, {}, {}), FatalError);
+    EXPECT_THROW(routePower(tree, itraces, {}), FatalError);
+    PowerRoutingConfig bad;
+    bad.secondaryOffset = 0;
+    EXPECT_THROW(routePower(tree, itraces, assignment, bad), FatalError);
+    bad = PowerRoutingConfig{};
+    bad.sweeps = 0;
+    EXPECT_THROW(routePower(tree, itraces, assignment, bad), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Algebraic property tests of the asynchrony score and the placement
+ * metrics, swept over random trace sets: invariances that hold by the
+ * mathematics of Eq. 6 and that every refactoring must preserve.
+ */
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/asynchrony.h"
+#include "power/metrics.h"
+#include "trace/time_series.h"
+
+namespace {
+
+using namespace sosim;
+using sosim::trace::TimeSeries;
+
+std::vector<TimeSeries>
+randomTraces(unsigned seed, std::size_t count, std::size_t len)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(0.05, 1.0);
+    std::vector<TimeSeries> out;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::vector<double> s(len);
+        for (auto &x : s)
+            x = dist(rng);
+        out.emplace_back(s, 30);
+    }
+    return out;
+}
+
+class ScoreProperties : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    std::vector<TimeSeries> traces_ = randomTraces(GetParam(), 5, 32);
+};
+
+TEST_P(ScoreProperties, UniformScalingIsInvariant)
+{
+    // A(alpha * M) == A(M): both numerator and denominator scale.
+    const double base = core::asynchronyScore(traces_);
+    for (const double alpha : {0.1, 2.0, 37.5}) {
+        auto scaled = traces_;
+        for (auto &t : scaled)
+            t *= alpha;
+        EXPECT_NEAR(core::asynchronyScore(scaled), base, 1e-9);
+    }
+}
+
+TEST_P(ScoreProperties, OrderIsIrrelevant)
+{
+    const double base = core::asynchronyScore(traces_);
+    auto shuffled = traces_;
+    std::reverse(shuffled.begin(), shuffled.end());
+    EXPECT_NEAR(core::asynchronyScore(shuffled), base, 1e-12);
+}
+
+TEST_P(ScoreProperties, AddingConstantBaseloadPullsTowardOne)
+{
+    // A large synchronous base load dominates the peaks, dragging the
+    // score toward 1 (everything "peaks together" relative to it).
+    const double base = core::asynchronyScore(traces_);
+    auto lifted = traces_;
+    for (auto &t : lifted)
+        t += TimeSeries::constant(t.size(), 50.0, t.intervalMinutes());
+    const double lifted_score = core::asynchronyScore(lifted);
+    EXPECT_LE(lifted_score, base + 1e-9);
+    EXPECT_NEAR(lifted_score, 1.0, 0.02);
+}
+
+TEST_P(ScoreProperties, DuplicatingTheSetPreservesTheScore)
+{
+    // M and M+M have identical peak structure: A is unchanged.
+    const double base = core::asynchronyScore(traces_);
+    auto doubled = traces_;
+    doubled.insert(doubled.end(), traces_.begin(), traces_.end());
+    EXPECT_NEAR(core::asynchronyScore(doubled), base, 1e-9);
+}
+
+TEST_P(ScoreProperties, MergingGroupsNeverRaisesTheScore)
+{
+    // Treating two groups as one (summing each group first) can only
+    // lose asynchrony credit: A({sum(M)}) = 1 <= A(M), and in general
+    // A over coarser partitions is bounded by A over finer ones.
+    const double fine = core::asynchronyScore(traces_);
+    const auto merged_front = traces_[0] + traces_[1];
+    std::vector<TimeSeries> coarse = {merged_front};
+    for (std::size_t i = 2; i < traces_.size(); ++i)
+        coarse.push_back(traces_[i]);
+    EXPECT_LE(core::asynchronyScore(coarse), fine + 1e-9);
+}
+
+TEST_P(ScoreProperties, PairScoreMatchesSetScoreForPairs)
+{
+    EXPECT_NEAR(core::pairAsynchronyScore(traces_[0], traces_[1]),
+                core::asynchronyScore(
+                    std::vector<TimeSeries>{traces_[0], traces_[1]}),
+                1e-12);
+}
+
+TEST_P(ScoreProperties, SlackDecomposesLinearly)
+{
+    // slack(budget, a + b) == slack(budget_a, a) + slack(budget_b, b)
+    // when budget == budget_a + budget_b: Eq. 1 is affine.
+    const auto &a = traces_[0];
+    const auto &b = traces_[1];
+    const auto combined = power::powerSlack(a + b, 10.0);
+    const auto split =
+        power::powerSlack(a, 6.0) + power::powerSlack(b, 4.0);
+    for (std::size_t t = 0; t < combined.size(); ++t)
+        EXPECT_NEAR(combined[t], split[t], 1e-9);
+    // And energy slack is its integral.
+    EXPECT_NEAR(power::energySlack(a + b, 10.0),
+                combined.integralMinutes(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreProperties,
+                         ::testing::Range(100u, 112u));
+
+} // namespace

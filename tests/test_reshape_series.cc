@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Deeper checks of the reshaping runtime's time series: conversion
+ * timing against the learned threshold, power-accounting consistency,
+ * and slack-series identities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/reshape.h"
+#include "workload/catalog.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim;
+using sosim::trace::TimeSeries;
+
+workload::GeneratedDatacenter
+smallDc()
+{
+    workload::DatacenterSpec spec;
+    spec.name = "series";
+    spec.topology.suites = 1;
+    spec.topology.msbsPerSuite = 1;
+    spec.topology.sbsPerMsb = 1;
+    spec.topology.rppsPerSb = 2;
+    spec.topology.racksPerRpp = 2;
+    spec.intervalMinutes = 15;
+    spec.weeks = 3;
+    spec.seed = 99;
+    spec.services.push_back({workload::webFrontend(), 30});
+    spec.services.push_back({workload::hadoop(), 20});
+    spec.services.push_back({workload::dbBackend(), 10});
+    return workload::generate(spec);
+}
+
+sim::ReshapeResult
+runMode(sim::ReshapeMode mode, double headroom = 0.10)
+{
+    const auto inputs = sim::buildReshapeInputs(smallDc(), headroom);
+    sim::ReshapeConfig config;
+    config.mode = mode;
+    return sim::ReshapeSimulator(inputs, config).run();
+}
+
+TEST(ReshapeSeries, AllSeriesAlignedToTestWeek)
+{
+    const auto result = runMode(sim::ReshapeMode::Conversion);
+    const auto &ref = result.perLcLoadPre;
+    EXPECT_TRUE(result.perLcLoadPost.alignedWith(ref));
+    EXPECT_TRUE(result.lcThroughputPre.alignedWith(ref));
+    EXPECT_TRUE(result.lcThroughputPost.alignedWith(ref));
+    EXPECT_TRUE(result.batchThroughputPre.alignedWith(ref));
+    EXPECT_TRUE(result.batchThroughputPost.alignedWith(ref));
+    EXPECT_TRUE(result.dcPowerPre.alignedWith(ref));
+    EXPECT_TRUE(result.dcPowerPost.alignedWith(ref));
+    // A 15-minute week.
+    EXPECT_EQ(ref.size(), 7u * 24 * 4);
+}
+
+TEST(ReshapeSeries, PostLoadNeverAbovePreLoad)
+{
+    // Conversion adds capacity whenever the original fleet would be
+    // pressed, so the post per-server load curve sits at or below the
+    // pre curve scaled by traffic growth.
+    const auto result = runMode(sim::ReshapeMode::Conversion);
+    for (std::size_t t = 0; t < result.perLcLoadPre.size(); ++t) {
+        EXPECT_LE(result.perLcLoadPost[t], 1.0);
+        EXPECT_GE(result.perLcLoadPost[t], 0.0);
+    }
+    // At the weekly peak, conversion keeps post load near the pre peak
+    // even though traffic grew.
+    EXPECT_LE(result.perLcLoadPost.peak(),
+              result.perLcLoadPre.peak() * 1.08);
+}
+
+TEST(ReshapeSeries, LcThroughputDominatesPreEverywhere)
+{
+    const auto result = runMode(sim::ReshapeMode::Conversion);
+    for (std::size_t t = 0; t < result.lcThroughputPre.size(); ++t)
+        EXPECT_GE(result.lcThroughputPost[t],
+                  result.lcThroughputPre[t] - 1e-9);
+}
+
+TEST(ReshapeSeries, BatchThroughputNeverBelowPreUnderConversion)
+{
+    // Plain conversion never throttles, so Batch only gains.
+    const auto result = runMode(sim::ReshapeMode::Conversion);
+    for (std::size_t t = 0; t < result.batchThroughputPre.size(); ++t)
+        EXPECT_GE(result.batchThroughputPost[t],
+                  result.batchThroughputPre[t] - 1e-9);
+}
+
+TEST(ReshapeSeries, ThrottlingDipsBatchDuringLcHeavy)
+{
+    const auto inputs = sim::buildReshapeInputs(smallDc(), 0.10);
+    sim::ReshapeConfig config;
+    config.mode = sim::ReshapeMode::ConversionThrottleBoost;
+    config.throttleFrequency = 0.7;
+    const auto result = sim::ReshapeSimulator(inputs, config).run();
+    // Some sample must show post batch work below the pre level (the
+    // throttled LC-heavy hours), and some above (boosted hours).
+    bool dipped = false, boosted = false;
+    for (std::size_t t = 0; t < result.batchThroughputPre.size(); ++t) {
+        dipped |= result.batchThroughputPost[t] <
+                  result.batchThroughputPre[t] - 1e-9;
+        boosted |= result.batchThroughputPost[t] >
+                   result.batchThroughputPre[t] + 1e-9;
+    }
+    EXPECT_TRUE(dipped);
+    EXPECT_TRUE(boosted);
+}
+
+TEST(ReshapeSeries, PowerAccountingMatchesFleet)
+{
+    // Pre power at every step must equal LC + Batch + other by
+    // construction; spot-check the identity via the valley and peak.
+    const auto inputs = sim::buildReshapeInputs(smallDc(), 0.10);
+    sim::ReshapeConfig config;
+    config.mode = sim::ReshapeMode::PreSmoothOperator;
+    const auto result = sim::ReshapeSimulator(inputs, config).run();
+    const double n_lc = static_cast<double>(inputs.lcServers);
+    const double n_batch = static_cast<double>(inputs.batchServers);
+    for (std::size_t t = 0; t < result.dcPowerPre.size(); t += 37) {
+        const double lc_power =
+            n_lc * (inputs.lcIdleFraction +
+                    (1.0 - inputs.lcIdleFraction) *
+                        result.perLcLoadPre[t]);
+        const double expected = lc_power +
+                                n_batch *
+                                    inputs.batchDvfs.powerAt(1.0) +
+                                inputs.otherPower[t];
+        EXPECT_NEAR(result.dcPowerPre[t], expected, 1e-9);
+    }
+}
+
+TEST(ReshapeSeries, BudgetCoversPostPeakWithinTolerance)
+{
+    for (const auto mode :
+         {sim::ReshapeMode::AddLcOnly, sim::ReshapeMode::Conversion,
+          sim::ReshapeMode::ConversionThrottleBoost}) {
+        const auto result = runMode(mode);
+        EXPECT_LE(result.dcPowerPost.peak(), result.budget * 1.03)
+            << sim::reshapeModeName(mode);
+    }
+}
+
+TEST(ReshapeSeries, ZeroHeadroomDegeneratesGracefully)
+{
+    const auto result = runMode(sim::ReshapeMode::Conversion, 0.0);
+    EXPECT_NEAR(result.lcThroughputGain, 0.0, 0.01);
+    EXPECT_EQ(result.extraServers, 0u);
+    EXPECT_GE(result.batchThroughputGain, 0.0);
+}
+
+TEST(ReshapeSeries, ConversionDelaySmoothsTransitions)
+{
+    const auto inputs = sim::buildReshapeInputs(smallDc(), 0.10);
+    sim::ReshapeConfig fast;
+    fast.mode = sim::ReshapeMode::Conversion;
+    fast.conversion.conversionDelaySteps = 1;
+    sim::ReshapeConfig slow = fast;
+    slow.conversion.conversionDelaySteps = 8;
+    const auto fast_result = sim::ReshapeSimulator(inputs, fast).run();
+    const auto slow_result = sim::ReshapeSimulator(inputs, slow).run();
+    // Slow conversion reacts late: its worst-case load is at least the
+    // fast policy's (it spends longer under-provisioned).
+    EXPECT_GE(slow_result.perLcLoadPost.peak(),
+              fast_result.perLcLoadPost.peak() - 1e-9);
+    // Both still gain the same total throughput to first order.
+    EXPECT_NEAR(slow_result.lcThroughputGain,
+                fast_result.lcThroughputGain, 0.02);
+}
+
+} // namespace

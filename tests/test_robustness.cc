@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Robustness / failure-injection tests: the week-averaging step
+ * (section 3.3) exists so that "significant unusual short-term
+ * variations" in any one week (bursts, sensor glitches, outages) do not
+ * dominate placement decisions.  These tests corrupt one training week
+ * and check that averaged training data keeps placement quality, while
+ * single-week training degrades more.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/oblivious.h"
+#include "core/headroom.h"
+#include "core/placement.h"
+#include "trace/time_series.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim;
+using sosim::trace::TimeSeries;
+
+workload::DatacenterSpec
+smallSpec()
+{
+    workload::DatacenterSpec spec;
+    spec.name = "robust";
+    spec.topology.suites = 1;
+    spec.topology.msbsPerSuite = 2;
+    spec.topology.sbsPerMsb = 2;
+    spec.topology.rppsPerSb = 2;
+    spec.topology.racksPerRpp = 2; // 16 racks.
+    spec.intervalMinutes = 30;
+    spec.weeks = 3;
+    spec.seed = 7;
+    spec.services.push_back({workload::webFrontend(), 32});
+    spec.services.push_back({workload::dbBackend(), 32});
+    return workload::generate(spec).spec();
+}
+
+/** Inject a multi-hour power burst into a window of a trace. */
+void
+injectBurst(TimeSeries &trace, std::size_t start, std::size_t len,
+            double level)
+{
+    for (std::size_t t = start; t < std::min(start + len, trace.size());
+         ++t)
+        trace[t] = level;
+}
+
+double
+rppReduction(const power::PowerTree &tree,
+             const std::vector<TimeSeries> &test,
+             const std::vector<std::size_t> &service_of,
+             const std::vector<TimeSeries> &training)
+{
+    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
+    core::PlacementEngine engine(tree, {});
+    const auto placement = engine.place(training, service_of);
+    return core::comparePlacements(tree, test, oblivious, placement)
+        .at(power::Level::Rpp)
+        .peakReductionFraction;
+}
+
+TEST(Robustness, WeekAveragingAbsorbsBurstWeek)
+{
+    const auto spec = smallSpec();
+    const auto dc = workload::generate(spec);
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    const auto test = dc.testTraces();
+    power::PowerTree tree(spec.topology);
+
+    // Clean training data (averaged weeks 1-2).
+    const auto clean = dc.trainingTraces();
+    const double clean_reduction =
+        rppReduction(tree, test, service_of, clean);
+    ASSERT_GT(clean_reduction, 0.03);
+
+    // Corrupt week 1: a neighbouring-DC failover pushes a third of the
+    // db fleet to sustained max power for 12 hours *during the day*,
+    // making them look like daytime peakers in that week.
+    util::Rng rng(5);
+    std::vector<TimeSeries> week1, week2;
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i) {
+        week1.push_back(dc.weekTrace(i, 0));
+        week2.push_back(dc.weekTrace(i, 1));
+    }
+    const std::size_t samples_per_hour =
+        60u / static_cast<unsigned>(spec.intervalMinutes);
+    for (std::size_t i = 32; i < 64; i += 3) { // Part of the db fleet.
+        injectBurst(week1[i], 2 * 24 * samples_per_hour +
+                                  12 * samples_per_hour,
+                    12 * samples_per_hour, 1.0);
+    }
+
+    // Averaged training still sees half the true pattern.
+    std::vector<TimeSeries> averaged;
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        averaged.push_back(trace::averageWeeks({week1[i], week2[i]}));
+    const double averaged_reduction =
+        rppReduction(tree, test, service_of, averaged);
+
+    // Training on the corrupted week alone.
+    const double burst_only_reduction =
+        rppReduction(tree, test, service_of, week1);
+
+    // Averaging keeps most of the clean-placement quality...
+    EXPECT_GT(averaged_reduction, clean_reduction - 0.02);
+    // ...and is in the same band as (or better than) trusting the
+    // corrupted week alone — the clustering tolerates this corruption
+    // either way; the averaged input must never be meaningfully worse.
+    EXPECT_GE(averaged_reduction, burst_only_reduction - 0.02);
+}
+
+TEST(Robustness, SensorDropoutsDoNotCrashThePipeline)
+{
+    const auto spec = smallSpec();
+    const auto dc = workload::generate(spec);
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    auto training = dc.trainingTraces();
+
+    // A sensor outage reads zero for a day on a handful of servers.
+    for (std::size_t i = 0; i < training.size(); i += 11)
+        injectBurst(training[i], 100, 48, 0.0);
+
+    power::PowerTree tree(spec.topology);
+    core::PlacementEngine engine(tree, {});
+    const auto placement = engine.place(training, service_of);
+    EXPECT_EQ(placement.size(), dc.instanceCount());
+    for (const auto rack : placement)
+        EXPECT_EQ(tree.node(rack).level, power::Level::Rack);
+}
+
+TEST(Robustness, ConstantTraceInstancesAreHandled)
+{
+    // Dead-flat traces (e.g. powered-but-idle spares) must not break the
+    // asynchrony-score embedding or the clustering.
+    const auto spec = smallSpec();
+    const auto dc = workload::generate(spec);
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    auto training = dc.trainingTraces();
+    for (std::size_t i = 0; i < 8; ++i)
+        training[i] = TimeSeries::constant(training[i].size(), 0.3,
+                                           training[i].intervalMinutes());
+
+    power::PowerTree tree(spec.topology);
+    core::PlacementEngine engine(tree, {});
+    EXPECT_NO_THROW({
+        const auto placement = engine.place(training, service_of);
+        EXPECT_EQ(placement.size(), dc.instanceCount());
+    });
+}
+
+TEST(Robustness, PlacementQualityStableAcrossSeeds)
+{
+    // The k-means seeding must not make results fragile: across five
+    // engine seeds the RPP reduction varies by a small band.
+    const auto spec = smallSpec();
+    const auto dc = workload::generate(spec);
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    const auto training = dc.trainingTraces();
+    const auto test = dc.testTraces();
+    power::PowerTree tree(spec.topology);
+    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
+
+    double lo = 1.0, hi = -1.0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        core::PlacementConfig config;
+        config.seed = seed;
+        core::PlacementEngine engine(tree, config);
+        const auto placement = engine.place(training, service_of);
+        const double reduction =
+            core::comparePlacements(tree, test, oblivious, placement)
+                .at(power::Level::Rpp)
+                .peakReductionFraction;
+        lo = std::min(lo, reduction);
+        hi = std::max(hi, reduction);
+    }
+    EXPECT_GT(lo, 0.0);
+    EXPECT_LT(hi - lo, 0.05);
+}
+
+} // namespace

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for the sim module: DVFS model, conversion policy, and the
+ * reshaping runtime.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/conversion.h"
+#include "sim/dvfs.h"
+#include "sim/reshape.h"
+#include "util/error.h"
+#include "workload/catalog.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim;
+using sim::ConversionConfig;
+using sim::ConversionPolicy;
+using sim::DvfsModel;
+using sim::Phase;
+using sosim::trace::TimeSeries;
+using sosim::util::FatalError;
+
+TEST(Dvfs, NominalPointIsNormalized)
+{
+    DvfsModel m;
+    EXPECT_DOUBLE_EQ(m.powerAt(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(m.throughputAt(1.0), 1.0);
+}
+
+TEST(Dvfs, PowerSuperlinearThroughputLinear)
+{
+    DvfsModel m(0.4, 3.0, 0.5, 1.2);
+    // Throttling 10% of frequency saves more than 10% of dynamic power.
+    const double p_low = m.powerAt(0.9);
+    EXPECT_LT(p_low, 1.0);
+    const double dynamic_saving = (1.0 - p_low) / (1.0 - 0.4);
+    EXPECT_GT(dynamic_saving, 0.1);
+    EXPECT_DOUBLE_EQ(m.throughputAt(0.9), 0.9);
+    // Boosting draws superlinear power.
+    const double p_boost = m.powerAt(1.1);
+    EXPECT_GT(p_boost - 1.0, 0.1 * (1.0 - 0.4));
+}
+
+TEST(Dvfs, ClampsToFrequencyRange)
+{
+    DvfsModel m(0.4, 3.0, 0.6, 1.1);
+    EXPECT_DOUBLE_EQ(m.powerAt(0.1), m.powerAt(0.6));
+    EXPECT_DOUBLE_EQ(m.powerAt(5.0), m.powerAt(1.1));
+    EXPECT_DOUBLE_EQ(m.throughputAt(0.1), 0.6);
+    EXPECT_DOUBLE_EQ(m.throughputAt(5.0), 1.1);
+}
+
+TEST(Dvfs, FrequencyForPowerInvertsPowerAt)
+{
+    DvfsModel m(0.45, 3.0, 0.5, 1.2);
+    for (double f = 0.5; f <= 1.2; f += 0.1) {
+        const double p = m.powerAt(f);
+        EXPECT_NEAR(m.frequencyForPower(p), f, 1e-9);
+    }
+    // Out-of-range powers clamp to the frequency limits.
+    EXPECT_DOUBLE_EQ(m.frequencyForPower(100.0), 1.2);
+    EXPECT_DOUBLE_EQ(m.frequencyForPower(0.0), 0.5);
+}
+
+TEST(Dvfs, RejectsBadParameters)
+{
+    EXPECT_THROW(DvfsModel(1.0, 3.0, 0.5, 1.2), FatalError);
+    EXPECT_THROW(DvfsModel(0.4, 0.5, 0.5, 1.2), FatalError);
+    EXPECT_THROW(DvfsModel(0.4, 3.0, 0.0, 1.2), FatalError);
+    EXPECT_THROW(DvfsModel(0.4, 3.0, 0.5, 0.9), FatalError);
+}
+
+TimeSeries
+loadRamp()
+{
+    // A training week compressed into 8 samples peaking at 0.9.
+    return TimeSeries({0.3, 0.5, 0.7, 0.9, 0.8, 0.6, 0.4, 0.3}, 60);
+}
+
+TEST(Conversion, LearnsThresholdFromTrainingPeak)
+{
+    ConversionPolicy policy(loadRamp());
+    EXPECT_DOUBLE_EQ(policy.conversionThreshold(), 0.9);
+}
+
+TEST(Conversion, RejectsBadInput)
+{
+    EXPECT_THROW(ConversionPolicy(TimeSeries{}), FatalError);
+    EXPECT_THROW(ConversionPolicy(TimeSeries({0.0, 0.0}, 5)), FatalError);
+    ConversionConfig config;
+    config.enterMargin = 1.0;
+    EXPECT_THROW(ConversionPolicy(loadRamp(), config), FatalError);
+    config = {};
+    config.conversionDelaySteps = 0;
+    EXPECT_THROW(ConversionPolicy(loadRamp(), config), FatalError);
+}
+
+TEST(Conversion, EntersLcHeavyNearThreshold)
+{
+    ConversionConfig config;
+    config.enterMargin = 0.05;
+    config.hysteresisWidth = 0.03;
+    ConversionPolicy policy(loadRamp(), config); // L_conv = 0.9.
+    EXPECT_EQ(policy.step(0.5), Phase::BatchHeavy);
+    EXPECT_DOUBLE_EQ(policy.lcFraction(), 0.0);
+    // 0.9 * 0.95 = 0.855: loads at/above convert.
+    EXPECT_EQ(policy.step(0.86), Phase::LcHeavy);
+    EXPECT_DOUBLE_EQ(policy.lcFraction(), 1.0);
+}
+
+TEST(Conversion, HysteresisPreventsFlapping)
+{
+    ConversionConfig config;
+    config.enterMargin = 0.05;
+    config.hysteresisWidth = 0.05;
+    ConversionPolicy policy(loadRamp(), config);
+    policy.step(0.87); // Enter LC-heavy (>= 0.855).
+    EXPECT_EQ(policy.phase(), Phase::LcHeavy);
+    // Dropping slightly below the enter level does not leave...
+    policy.step(0.84);
+    EXPECT_EQ(policy.phase(), Phase::LcHeavy);
+    // ...but falling below the leave level (0.9 * 0.90 = 0.81) does.
+    policy.step(0.80);
+    EXPECT_EQ(policy.phase(), Phase::BatchHeavy);
+}
+
+TEST(Conversion, DelayedConversionRampsLcFraction)
+{
+    ConversionConfig config;
+    config.conversionDelaySteps = 4;
+    ConversionPolicy policy(loadRamp(), config);
+    policy.step(0.89);
+    EXPECT_NEAR(policy.lcFraction(), 0.25, 1e-12);
+    policy.step(0.89);
+    EXPECT_NEAR(policy.lcFraction(), 0.5, 1e-12);
+    policy.step(0.89);
+    policy.step(0.89);
+    EXPECT_NEAR(policy.lcFraction(), 1.0, 1e-12);
+    policy.step(0.1);
+    EXPECT_NEAR(policy.lcFraction(), 0.75, 1e-12);
+}
+
+TEST(Conversion, ResetClearsState)
+{
+    ConversionPolicy policy(loadRamp());
+    policy.step(0.89);
+    EXPECT_EQ(policy.phase(), Phase::LcHeavy);
+    policy.reset();
+    EXPECT_EQ(policy.phase(), Phase::BatchHeavy);
+    EXPECT_DOUBLE_EQ(policy.lcFraction(), 0.0);
+}
+
+/** A small generated datacenter for reshaping tests. */
+workload::GeneratedDatacenter
+tinyDc()
+{
+    workload::DatacenterSpec spec;
+    spec.name = "tiny";
+    spec.topology.suites = 1;
+    spec.topology.msbsPerSuite = 1;
+    spec.topology.sbsPerMsb = 1;
+    spec.topology.rppsPerSb = 2;
+    spec.topology.racksPerRpp = 2;
+    spec.intervalMinutes = 30;
+    spec.weeks = 3;
+    spec.seed = 21;
+    spec.services.push_back({workload::webFrontend(), 20});
+    spec.services.push_back({workload::hadoop(), 10});
+    spec.services.push_back({workload::dbBackend(), 6});
+    return workload::generate(spec);
+}
+
+TEST(ReshapeInputs, BuilderCountsFleetsAndNormalizesLoad)
+{
+    const auto dc = tinyDc();
+    const auto inputs = sim::buildReshapeInputs(dc, 0.10, 0.9);
+    EXPECT_EQ(inputs.lcServers, 20u);
+    EXPECT_EQ(inputs.batchServers, 10u);
+    EXPECT_EQ(inputs.otherServers, 6u);
+    EXPECT_NEAR(inputs.trainingLoad.peak(), 0.9, 1e-9);
+    EXPECT_LE(inputs.testLoad.peak(), 1.0);
+    EXPECT_GT(inputs.otherPower.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(inputs.headroomFraction, 0.10);
+    EXPECT_THROW(sim::buildReshapeInputs(dc, 0.1, 0.0), FatalError);
+}
+
+TEST(Reshape, PreModeIsIdentity)
+{
+    const auto inputs = sim::buildReshapeInputs(tinyDc(), 0.10);
+    sim::ReshapeConfig config;
+    config.mode = sim::ReshapeMode::PreSmoothOperator;
+    const auto result = sim::ReshapeSimulator(inputs, config).run();
+    EXPECT_DOUBLE_EQ(result.lcThroughputGain, 0.0);
+    EXPECT_DOUBLE_EQ(result.batchThroughputGain, 0.0);
+    EXPECT_DOUBLE_EQ(result.averageSlackReduction, 0.0);
+    for (std::size_t t = 0; t < result.dcPowerPre.size(); t += 7)
+        EXPECT_DOUBLE_EQ(result.dcPowerPre[t], result.dcPowerPost[t]);
+}
+
+TEST(Reshape, AddLcOnlyGrowsLcButNotBatch)
+{
+    const auto inputs = sim::buildReshapeInputs(tinyDc(), 0.10);
+    sim::ReshapeConfig config;
+    config.mode = sim::ReshapeMode::AddLcOnly;
+    const auto result = sim::ReshapeSimulator(inputs, config).run();
+    EXPECT_NEAR(result.lcThroughputGain, 0.10, 0.02);
+    EXPECT_DOUBLE_EQ(result.batchThroughputGain, 0.0);
+    EXPECT_GT(result.extraServers, 0u);
+    EXPECT_EQ(result.throttleExtraServers, 0u);
+}
+
+TEST(Reshape, ConversionAddsBatchThroughputOnTop)
+{
+    const auto inputs = sim::buildReshapeInputs(tinyDc(), 0.10);
+    sim::ReshapeConfig config;
+    config.mode = sim::ReshapeMode::Conversion;
+    const auto result = sim::ReshapeSimulator(inputs, config).run();
+    EXPECT_NEAR(result.lcThroughputGain, 0.10, 0.02);
+    EXPECT_GT(result.batchThroughputGain, 0.0);
+    EXPECT_GT(result.lcHeavyFraction, 0.0);
+    EXPECT_LT(result.lcHeavyFraction, 1.0);
+}
+
+TEST(Reshape, ThrottleBoostBeatsConversionOnLc)
+{
+    const auto inputs = sim::buildReshapeInputs(tinyDc(), 0.10);
+    sim::ReshapeConfig conv;
+    conv.mode = sim::ReshapeMode::Conversion;
+    sim::ReshapeConfig tb;
+    tb.mode = sim::ReshapeMode::ConversionThrottleBoost;
+    // The tiny 10-server Batch fleet frees less than one server's power
+    // at the default 0.95 throttle; throttle deeper so e_th >= 1.
+    tb.throttleFrequency = 0.70;
+    const auto conv_result = sim::ReshapeSimulator(inputs, conv).run();
+    const auto tb_result = sim::ReshapeSimulator(inputs, tb).run();
+    EXPECT_GT(tb_result.lcThroughputGain, conv_result.lcThroughputGain);
+    EXPECT_GT(tb_result.throttleExtraServers, 0u);
+}
+
+TEST(Reshape, SlackShrinksWithReshaping)
+{
+    const auto inputs = sim::buildReshapeInputs(tinyDc(), 0.10);
+    sim::ReshapeConfig config;
+    config.mode = sim::ReshapeMode::ConversionThrottleBoost;
+    const auto result = sim::ReshapeSimulator(inputs, config).run();
+    EXPECT_GT(result.averageSlackReduction, 0.0);
+    EXPECT_LT(result.averageSlackReduction, 1.0);
+    EXPECT_GT(result.offPeakSlackReduction, 0.0);
+    // Post power never exceeds the budget by more than rounding.
+    EXPECT_LE(result.dcPowerPost.peak(), result.budget * 1.02);
+}
+
+TEST(Reshape, QosViolationsAreRare)
+{
+    const auto inputs = sim::buildReshapeInputs(tinyDc(), 0.10);
+    sim::ReshapeConfig config;
+    config.mode = sim::ReshapeMode::Conversion;
+    const auto result = sim::ReshapeSimulator(inputs, config).run();
+    EXPECT_LT(result.qosViolationFraction, 0.10);
+}
+
+TEST(Reshape, ExplicitTrafficGrowthOverridesHeadroom)
+{
+    const auto inputs = sim::buildReshapeInputs(tinyDc(), 0.10);
+    sim::ReshapeConfig config;
+    config.mode = sim::ReshapeMode::Conversion;
+    config.trafficGrowth = 0.05;
+    const auto result = sim::ReshapeSimulator(inputs, config).run();
+    EXPECT_NEAR(result.lcThroughputGain, 0.05, 0.02);
+}
+
+TEST(Reshape, ValidatesInputs)
+{
+    auto inputs = sim::buildReshapeInputs(tinyDc(), 0.10);
+    inputs.lcServers = 0;
+    EXPECT_THROW(sim::ReshapeSimulator(inputs, {}), FatalError);
+    inputs = sim::buildReshapeInputs(tinyDc(), 0.10);
+    inputs.headroomFraction = -0.1;
+    EXPECT_THROW(sim::ReshapeSimulator(inputs, {}), FatalError);
+    inputs = sim::buildReshapeInputs(tinyDc(), 0.10);
+    sim::ReshapeConfig config;
+    config.throttleFrequency = 0.0;
+    EXPECT_THROW(sim::ReshapeSimulator(inputs, config), FatalError);
+    config = {};
+    config.boostMaxFrequency = 0.9;
+    EXPECT_THROW(sim::ReshapeSimulator(inputs, config), FatalError);
+}
+
+TEST(Reshape, ModeNamesAreStable)
+{
+    EXPECT_EQ(sim::reshapeModeName(sim::ReshapeMode::PreSmoothOperator),
+              "Pre-SmoothOperator");
+    EXPECT_EQ(sim::reshapeModeName(sim::ReshapeMode::Conversion),
+              "Server Conversion");
+}
+
+/** Parameterized sweep over headroom fractions: gains track headroom. */
+class ReshapeHeadroom : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ReshapeHeadroom, LcGainTracksHeadroom)
+{
+    const double h = GetParam();
+    const auto inputs = sim::buildReshapeInputs(tinyDc(), h);
+    sim::ReshapeConfig config;
+    config.mode = sim::ReshapeMode::Conversion;
+    const auto result = sim::ReshapeSimulator(inputs, config).run();
+    EXPECT_NEAR(result.lcThroughputGain, h, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Headrooms, ReshapeHeadroom,
+                         ::testing::Values(0.02, 0.05, 0.08, 0.12, 0.15));
+
+} // namespace

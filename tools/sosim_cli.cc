@@ -1,0 +1,300 @@
+/**
+ * @file
+ * sosim — command-line driver for the SmoothOperator library.
+ *
+ * Subcommands:
+ *   generate  Synthesize a datacenter's training/test traces to CSV.
+ *   place     Derive a workload-aware placement from a trace CSV.
+ *   evaluate  Score a placement (optionally against a baseline).
+ *   report    Run the full pipeline on a preset datacenter.
+ *
+ * Trace CSVs use the library interchange format (see trace/io.h); the
+ * column names encode the service as "<service>@<index>", which `place`
+ * uses to group instances by service.
+ *
+ * Examples:
+ *   sosim generate --dc 3 --scale 0.25 --out /tmp/dc3.csv
+ *   sosim place --traces /tmp/dc3.csv --out /tmp/placement.csv
+ *   sosim evaluate --traces /tmp/dc3.csv --assignment /tmp/placement.csv
+ *   sosim report --dc 2
+ */
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/oblivious.h"
+#include "core/headroom.h"
+#include "core/placement.h"
+#include "power/assignment_io.h"
+#include "trace/io.h"
+#include "util/error.h"
+#include "util/table.h"
+#include "workload/dc_presets.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim;
+
+/** Minimal --flag value argument parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            SOSIM_REQUIRE(key.rfind("--", 0) == 0,
+                          "expected --flag, got '" + key + "'");
+            SOSIM_REQUIRE(i + 1 < argc, "missing value for " + key);
+            values_[key.substr(2)] = argv[++i];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    std::string
+    require(const std::string &key) const
+    {
+        const auto it = values_.find(key);
+        SOSIM_REQUIRE(it != values_.end(), "missing required --" + key);
+        return it->second;
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::stod(it->second);
+    }
+
+    int
+    getInt(const std::string &key, int fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::stoi(it->second);
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+power::TopologySpec
+topologyFromArgs(const Args &args)
+{
+    power::TopologySpec spec;
+    spec.suites = args.getInt("suites", spec.suites);
+    spec.msbsPerSuite = args.getInt("msbs", spec.msbsPerSuite);
+    spec.sbsPerMsb = args.getInt("sbs", spec.sbsPerMsb);
+    spec.rppsPerSb = args.getInt("rpps", spec.rppsPerSb);
+    spec.racksPerRpp = args.getInt("racks", spec.racksPerRpp);
+    return spec;
+}
+
+workload::DatacenterSpec
+presetFromArgs(const Args &args)
+{
+    workload::PresetOptions options;
+    options.scale = args.getDouble("scale", 1.0);
+    options.intervalMinutes = args.getInt("interval", 5);
+    options.weeks = args.getInt("weeks", 3);
+    options.seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 2018));
+    const int dc = args.getInt("dc", 3);
+    switch (dc) {
+      case 1:
+        return workload::buildDc1Spec(options);
+      case 2:
+        return workload::buildDc2Spec(options);
+      case 3:
+        return workload::buildDc3Spec(options);
+      default:
+        SOSIM_REQUIRE(false, "--dc must be 1, 2 or 3");
+    }
+}
+
+/** Recover service ids from "<service>@<index>" column names. */
+std::vector<std::size_t>
+servicesFromNames(const std::vector<std::string> &names)
+{
+    std::map<std::string, std::size_t> ids;
+    std::vector<std::size_t> service_of;
+    service_of.reserve(names.size());
+    for (const auto &name : names) {
+        const auto at = name.rfind('@');
+        const std::string service =
+            at == std::string::npos ? name : name.substr(0, at);
+        const auto it = ids.emplace(service, ids.size()).first;
+        service_of.push_back(it->second);
+    }
+    return service_of;
+}
+
+int
+cmdGenerate(const Args &args)
+{
+    const auto spec = presetFromArgs(args);
+    const std::string out = args.require("out");
+    const auto dc = workload::generate(spec);
+    const bool test_week = args.get("week", "training") == "test";
+
+    trace::TraceBundle bundle;
+    const auto traces =
+        test_week ? dc.testTraces() : dc.trainingTraces();
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i) {
+        bundle.names.push_back(
+            dc.serviceProfile(dc.serviceOf(i)).name + "@" +
+            std::to_string(i));
+        bundle.traces.push_back(traces[i]);
+    }
+    // CSV names must be comma/newline free; catalog names are.
+    trace::writeCsvFile(out, bundle);
+    std::cout << "wrote " << bundle.traces.size() << " "
+              << (test_week ? "test" : "training") << " traces ("
+              << bundle.traces.front().size() << " samples @ "
+              << spec.intervalMinutes << " min) to " << out << "\n";
+    return 0;
+}
+
+int
+cmdPlace(const Args &args)
+{
+    const auto bundle = trace::readCsvFile(args.require("traces"));
+    const std::string out = args.require("out");
+    const auto service_of = servicesFromNames(bundle.names);
+
+    power::PowerTree tree(topologyFromArgs(args));
+    core::PlacementConfig config;
+    config.topServices = static_cast<std::size_t>(
+        args.getInt("top-services", 10));
+    config.clustersPerChild = static_cast<std::size_t>(
+        args.getInt("clusters-per-child", 2));
+    config.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+    core::PlacementEngine engine(tree, config);
+    const auto assignment = engine.place(bundle.traces, service_of);
+    power::writeAssignmentCsvFile(out, tree, assignment);
+    std::cout << "placed " << assignment.size() << " instances onto "
+              << tree.racks().size() << " racks; wrote " << out << "\n";
+    return 0;
+}
+
+int
+cmdEvaluate(const Args &args)
+{
+    const auto bundle = trace::readCsvFile(args.require("traces"));
+    power::PowerTree tree(topologyFromArgs(args));
+    const auto assignment = power::readAssignmentCsvFile(
+        args.require("assignment"), tree);
+    SOSIM_REQUIRE(assignment.size() == bundle.traces.size(),
+                  "evaluate: assignment and traces disagree on the "
+                  "instance count");
+
+    const std::string baseline_path = args.get("baseline", "");
+    power::Assignment baseline;
+    if (baseline_path.empty()) {
+        baseline = baseline::obliviousPlacement(
+            tree, servicesFromNames(bundle.names));
+        std::cout << "(no --baseline given: comparing against the "
+                     "oblivious service-block placement)\n";
+    } else {
+        baseline = power::readAssignmentCsvFile(baseline_path, tree);
+    }
+
+    const auto report = core::comparePlacements(tree, bundle.traces,
+                                                baseline, assignment);
+    util::Table table({"level", "baseline sum-of-peaks",
+                       "assignment sum-of-peaks", "reduction"});
+    for (const auto &lc : report.levels) {
+        table.addRow({power::levelName(lc.level),
+                      util::fmtFixed(lc.baselineSumPeaks, 2),
+                      util::fmtFixed(lc.optimizedSumPeaks, 2),
+                      util::fmtPercent(lc.peakReductionFraction)});
+    }
+    table.print(std::cout);
+    std::cout << "extra servers hostable at RPP: "
+              << util::fmtPercent(report.extraServerFraction()) << "\n";
+    return 0;
+}
+
+int
+cmdReport(const Args &args)
+{
+    const auto spec = presetFromArgs(args);
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    const auto test = dc.testTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+
+    power::PowerTree tree(spec.topology);
+    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
+    core::PlacementEngine engine(tree, {});
+    const auto optimized = engine.place(training, service_of);
+    const auto report =
+        core::comparePlacements(tree, test, oblivious, optimized);
+
+    std::cout << "SmoothOperator report for " << spec.name << " ("
+              << dc.instanceCount() << " instances)\n\n";
+    util::Table table({"level", "peak reduction"});
+    for (const auto &lc : report.levels)
+        table.addRow({power::levelName(lc.level),
+                      util::fmtPercent(lc.peakReductionFraction)});
+    table.print(std::cout);
+    std::cout << "extra servers hostable at RPP: "
+              << util::fmtPercent(report.extraServerFraction()) << "\n";
+    return 0;
+}
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: sosim <command> [--flag value ...]\n"
+        "\n"
+        "commands:\n"
+        "  generate  --dc 1|2|3 --out FILE [--scale S] [--interval M]\n"
+        "            [--weeks W] [--seed N] [--week training|test]\n"
+        "  place     --traces FILE --out FILE [--top-services N]\n"
+        "            [--clusters-per-child N] [--seed N] [topology]\n"
+        "  evaluate  --traces FILE --assignment FILE [--baseline FILE]\n"
+        "            [topology]\n"
+        "  report    --dc 1|2|3 [--scale S] [--interval M]\n"
+        "\n"
+        "topology flags: --suites N --msbs N --sbs N --rpps N --racks N\n"
+        "(defaults 4/2/2/4/4 = 256 racks)\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    try {
+        Args args(argc, argv, 2);
+        if (command == "generate")
+            return cmdGenerate(args);
+        if (command == "place")
+            return cmdPlace(args);
+        if (command == "evaluate")
+            return cmdEvaluate(args);
+        if (command == "report")
+            return cmdReport(args);
+        std::cerr << "unknown command '" << command << "'\n";
+        return usage();
+    } catch (const std::exception &e) {
+        std::cerr << "sosim " << command << ": " << e.what() << "\n";
+        return 1;
+    }
+}
