@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_capping"
+  "../bench/ablation_capping.pdb"
+  "CMakeFiles/ablation_capping.dir/ablation_capping.cc.o"
+  "CMakeFiles/ablation_capping.dir/ablation_capping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_esd"
+  "../bench/ablation_esd.pdb"
+  "CMakeFiles/ablation_esd.dir/ablation_esd.cc.o"
+  "CMakeFiles/ablation_esd.dir/ablation_esd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_esd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

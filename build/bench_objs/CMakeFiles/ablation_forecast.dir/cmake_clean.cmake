@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_forecast"
+  "../bench/ablation_forecast.pdb"
+  "CMakeFiles/ablation_forecast.dir/ablation_forecast.cc.o"
+  "CMakeFiles/ablation_forecast.dir/ablation_forecast.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_power_routing"
+  "../bench/ablation_power_routing.pdb"
+  "CMakeFiles/ablation_power_routing.dir/ablation_power_routing.cc.o"
+  "CMakeFiles/ablation_power_routing.dir/ablation_power_routing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

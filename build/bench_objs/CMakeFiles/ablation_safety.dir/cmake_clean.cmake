@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_safety"
+  "../bench/ablation_safety.pdb"
+  "CMakeFiles/ablation_safety.dir/ablation_safety.cc.o"
+  "CMakeFiles/ablation_safety.dir/ablation_safety.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

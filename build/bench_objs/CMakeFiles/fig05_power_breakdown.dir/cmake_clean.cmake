@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_power_breakdown"
+  "../bench/fig05_power_breakdown.pdb"
+  "CMakeFiles/fig05_power_breakdown.dir/fig05_power_breakdown.cc.o"
+  "CMakeFiles/fig05_power_breakdown.dir/fig05_power_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_power_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

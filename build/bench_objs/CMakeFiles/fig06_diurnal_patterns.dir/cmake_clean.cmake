@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_diurnal_patterns"
+  "../bench/fig06_diurnal_patterns.pdb"
+  "CMakeFiles/fig06_diurnal_patterns.dir/fig06_diurnal_patterns.cc.o"
+  "CMakeFiles/fig06_diurnal_patterns.dir/fig06_diurnal_patterns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_diurnal_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_clustering_tsne"
+  "../bench/fig08_clustering_tsne.pdb"
+  "CMakeFiles/fig08_clustering_tsne.dir/fig08_clustering_tsne.cc.o"
+  "CMakeFiles/fig08_clustering_tsne.dir/fig08_clustering_tsne.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_clustering_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_subtree_smoothing"
+  "../bench/fig09_subtree_smoothing.pdb"
+  "CMakeFiles/fig09_subtree_smoothing.dir/fig09_subtree_smoothing.cc.o"
+  "CMakeFiles/fig09_subtree_smoothing.dir/fig09_subtree_smoothing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_subtree_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_peak_reduction"
+  "../bench/fig10_peak_reduction.pdb"
+  "CMakeFiles/fig10_peak_reduction.dir/fig10_peak_reduction.cc.o"
+  "CMakeFiles/fig10_peak_reduction.dir/fig10_peak_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_peak_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_provisioning_comparison"
+  "../bench/fig11_provisioning_comparison.pdb"
+  "CMakeFiles/fig11_provisioning_comparison.dir/fig11_provisioning_comparison.cc.o"
+  "CMakeFiles/fig11_provisioning_comparison.dir/fig11_provisioning_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_provisioning_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

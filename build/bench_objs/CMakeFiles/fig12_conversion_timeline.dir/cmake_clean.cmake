@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_conversion_timeline"
+  "../bench/fig12_conversion_timeline.pdb"
+  "CMakeFiles/fig12_conversion_timeline.dir/fig12_conversion_timeline.cc.o"
+  "CMakeFiles/fig12_conversion_timeline.dir/fig12_conversion_timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_conversion_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

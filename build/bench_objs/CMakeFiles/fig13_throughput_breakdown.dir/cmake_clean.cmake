@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_throughput_breakdown"
+  "../bench/fig13_throughput_breakdown.pdb"
+  "CMakeFiles/fig13_throughput_breakdown.dir/fig13_throughput_breakdown.cc.o"
+  "CMakeFiles/fig13_throughput_breakdown.dir/fig13_throughput_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_throughput_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

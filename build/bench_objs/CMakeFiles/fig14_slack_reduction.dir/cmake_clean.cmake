@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_slack_reduction"
+  "../bench/fig14_slack_reduction.pdb"
+  "CMakeFiles/fig14_slack_reduction.dir/fig14_slack_reduction.cc.o"
+  "CMakeFiles/fig14_slack_reduction.dir/fig14_slack_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_slack_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

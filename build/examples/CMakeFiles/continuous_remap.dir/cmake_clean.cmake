@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_remap.dir/continuous_remap.cpp.o"
+  "CMakeFiles/continuous_remap.dir/continuous_remap.cpp.o.d"
+  "continuous_remap"
+  "continuous_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshaping_runtime.dir/reshaping_runtime.cpp.o"
+  "CMakeFiles/reshaping_runtime.dir/reshaping_runtime.cpp.o.d"
+  "reshaping_runtime"
+  "reshaping_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshaping_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/oblivious.cc" "src/baseline/CMakeFiles/sosim_baseline.dir/oblivious.cc.o" "gcc" "src/baseline/CMakeFiles/sosim_baseline.dir/oblivious.cc.o.d"
+  "/root/repo/src/baseline/power_routing.cc" "src/baseline/CMakeFiles/sosim_baseline.dir/power_routing.cc.o" "gcc" "src/baseline/CMakeFiles/sosim_baseline.dir/power_routing.cc.o.d"
+  "/root/repo/src/baseline/statprof.cc" "src/baseline/CMakeFiles/sosim_baseline.dir/statprof.cc.o" "gcc" "src/baseline/CMakeFiles/sosim_baseline.dir/statprof.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/sosim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sosim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sosim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sosim_baseline.dir/oblivious.cc.o"
+  "CMakeFiles/sosim_baseline.dir/oblivious.cc.o.d"
+  "CMakeFiles/sosim_baseline.dir/power_routing.cc.o"
+  "CMakeFiles/sosim_baseline.dir/power_routing.cc.o.d"
+  "CMakeFiles/sosim_baseline.dir/statprof.cc.o"
+  "CMakeFiles/sosim_baseline.dir/statprof.cc.o.d"
+  "libsosim_baseline.a"
+  "libsosim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sosim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

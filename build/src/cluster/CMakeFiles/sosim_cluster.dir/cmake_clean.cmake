@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sosim_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/sosim_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/sosim_cluster.dir/pca.cc.o"
+  "CMakeFiles/sosim_cluster.dir/pca.cc.o.d"
+  "CMakeFiles/sosim_cluster.dir/tsne.cc.o"
+  "CMakeFiles/sosim_cluster.dir/tsne.cc.o.d"
+  "libsosim_cluster.a"
+  "libsosim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sosim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/asynchrony.cc" "src/core/CMakeFiles/sosim_core.dir/asynchrony.cc.o" "gcc" "src/core/CMakeFiles/sosim_core.dir/asynchrony.cc.o.d"
+  "/root/repo/src/core/constraints.cc" "src/core/CMakeFiles/sosim_core.dir/constraints.cc.o" "gcc" "src/core/CMakeFiles/sosim_core.dir/constraints.cc.o.d"
+  "/root/repo/src/core/headroom.cc" "src/core/CMakeFiles/sosim_core.dir/headroom.cc.o" "gcc" "src/core/CMakeFiles/sosim_core.dir/headroom.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/sosim_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/sosim_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/sosim_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/sosim_core.dir/placement.cc.o.d"
+  "/root/repo/src/core/remap.cc" "src/core/CMakeFiles/sosim_core.dir/remap.cc.o" "gcc" "src/core/CMakeFiles/sosim_core.dir/remap.cc.o.d"
+  "/root/repo/src/core/service_traces.cc" "src/core/CMakeFiles/sosim_core.dir/service_traces.cc.o" "gcc" "src/core/CMakeFiles/sosim_core.dir/service_traces.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/sosim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sosim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sosim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sosim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

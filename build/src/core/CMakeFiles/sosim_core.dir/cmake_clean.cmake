@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sosim_core.dir/asynchrony.cc.o"
+  "CMakeFiles/sosim_core.dir/asynchrony.cc.o.d"
+  "CMakeFiles/sosim_core.dir/constraints.cc.o"
+  "CMakeFiles/sosim_core.dir/constraints.cc.o.d"
+  "CMakeFiles/sosim_core.dir/headroom.cc.o"
+  "CMakeFiles/sosim_core.dir/headroom.cc.o.d"
+  "CMakeFiles/sosim_core.dir/monitor.cc.o"
+  "CMakeFiles/sosim_core.dir/monitor.cc.o.d"
+  "CMakeFiles/sosim_core.dir/placement.cc.o"
+  "CMakeFiles/sosim_core.dir/placement.cc.o.d"
+  "CMakeFiles/sosim_core.dir/remap.cc.o"
+  "CMakeFiles/sosim_core.dir/remap.cc.o.d"
+  "CMakeFiles/sosim_core.dir/service_traces.cc.o"
+  "CMakeFiles/sosim_core.dir/service_traces.cc.o.d"
+  "libsosim_core.a"
+  "libsosim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sosim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

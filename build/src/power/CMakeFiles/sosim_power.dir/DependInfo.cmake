@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/assignment_io.cc" "src/power/CMakeFiles/sosim_power.dir/assignment_io.cc.o" "gcc" "src/power/CMakeFiles/sosim_power.dir/assignment_io.cc.o.d"
+  "/root/repo/src/power/breaker.cc" "src/power/CMakeFiles/sosim_power.dir/breaker.cc.o" "gcc" "src/power/CMakeFiles/sosim_power.dir/breaker.cc.o.d"
+  "/root/repo/src/power/level.cc" "src/power/CMakeFiles/sosim_power.dir/level.cc.o" "gcc" "src/power/CMakeFiles/sosim_power.dir/level.cc.o.d"
+  "/root/repo/src/power/metrics.cc" "src/power/CMakeFiles/sosim_power.dir/metrics.cc.o" "gcc" "src/power/CMakeFiles/sosim_power.dir/metrics.cc.o.d"
+  "/root/repo/src/power/power_tree.cc" "src/power/CMakeFiles/sosim_power.dir/power_tree.cc.o" "gcc" "src/power/CMakeFiles/sosim_power.dir/power_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/sosim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sosim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

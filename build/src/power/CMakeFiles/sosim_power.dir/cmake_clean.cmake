@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sosim_power.dir/assignment_io.cc.o"
+  "CMakeFiles/sosim_power.dir/assignment_io.cc.o.d"
+  "CMakeFiles/sosim_power.dir/breaker.cc.o"
+  "CMakeFiles/sosim_power.dir/breaker.cc.o.d"
+  "CMakeFiles/sosim_power.dir/level.cc.o"
+  "CMakeFiles/sosim_power.dir/level.cc.o.d"
+  "CMakeFiles/sosim_power.dir/metrics.cc.o"
+  "CMakeFiles/sosim_power.dir/metrics.cc.o.d"
+  "CMakeFiles/sosim_power.dir/power_tree.cc.o"
+  "CMakeFiles/sosim_power.dir/power_tree.cc.o.d"
+  "libsosim_power.a"
+  "libsosim_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sosim_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sosim_sim.dir/capping.cc.o"
+  "CMakeFiles/sosim_sim.dir/capping.cc.o.d"
+  "CMakeFiles/sosim_sim.dir/conversion.cc.o"
+  "CMakeFiles/sosim_sim.dir/conversion.cc.o.d"
+  "CMakeFiles/sosim_sim.dir/dvfs.cc.o"
+  "CMakeFiles/sosim_sim.dir/dvfs.cc.o.d"
+  "CMakeFiles/sosim_sim.dir/esd.cc.o"
+  "CMakeFiles/sosim_sim.dir/esd.cc.o.d"
+  "CMakeFiles/sosim_sim.dir/reshape.cc.o"
+  "CMakeFiles/sosim_sim.dir/reshape.cc.o.d"
+  "libsosim_sim.a"
+  "libsosim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sosim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsosim_sim.a"
+)

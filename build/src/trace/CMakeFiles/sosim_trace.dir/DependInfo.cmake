@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/cdf.cc" "src/trace/CMakeFiles/sosim_trace.dir/cdf.cc.o" "gcc" "src/trace/CMakeFiles/sosim_trace.dir/cdf.cc.o.d"
+  "/root/repo/src/trace/forecast.cc" "src/trace/CMakeFiles/sosim_trace.dir/forecast.cc.o" "gcc" "src/trace/CMakeFiles/sosim_trace.dir/forecast.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/trace/CMakeFiles/sosim_trace.dir/io.cc.o" "gcc" "src/trace/CMakeFiles/sosim_trace.dir/io.cc.o.d"
+  "/root/repo/src/trace/time_series.cc" "src/trace/CMakeFiles/sosim_trace.dir/time_series.cc.o" "gcc" "src/trace/CMakeFiles/sosim_trace.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sosim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sosim_trace.dir/cdf.cc.o"
+  "CMakeFiles/sosim_trace.dir/cdf.cc.o.d"
+  "CMakeFiles/sosim_trace.dir/forecast.cc.o"
+  "CMakeFiles/sosim_trace.dir/forecast.cc.o.d"
+  "CMakeFiles/sosim_trace.dir/io.cc.o"
+  "CMakeFiles/sosim_trace.dir/io.cc.o.d"
+  "CMakeFiles/sosim_trace.dir/time_series.cc.o"
+  "CMakeFiles/sosim_trace.dir/time_series.cc.o.d"
+  "libsosim_trace.a"
+  "libsosim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sosim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsosim_trace.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sosim_util.dir/rng.cc.o"
+  "CMakeFiles/sosim_util.dir/rng.cc.o.d"
+  "CMakeFiles/sosim_util.dir/table.cc.o"
+  "CMakeFiles/sosim_util.dir/table.cc.o.d"
+  "libsosim_util.a"
+  "libsosim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sosim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

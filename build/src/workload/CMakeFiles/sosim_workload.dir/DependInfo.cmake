@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/sosim_workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/sosim_workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/dc_presets.cc" "src/workload/CMakeFiles/sosim_workload.dir/dc_presets.cc.o" "gcc" "src/workload/CMakeFiles/sosim_workload.dir/dc_presets.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/sosim_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/sosim_workload.dir/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/sosim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sosim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sosim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sosim_workload.dir/catalog.cc.o"
+  "CMakeFiles/sosim_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/sosim_workload.dir/dc_presets.cc.o"
+  "CMakeFiles/sosim_workload.dir/dc_presets.cc.o.d"
+  "CMakeFiles/sosim_workload.dir/generator.cc.o"
+  "CMakeFiles/sosim_workload.dir/generator.cc.o.d"
+  "libsosim_workload.a"
+  "libsosim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sosim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

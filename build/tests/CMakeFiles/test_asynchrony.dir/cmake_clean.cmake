@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asynchrony.dir/test_asynchrony.cc.o"
+  "CMakeFiles/test_asynchrony.dir/test_asynchrony.cc.o.d"
+  "test_asynchrony"
+  "test_asynchrony.pdb"
+  "test_asynchrony[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asynchrony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capping_esd.dir/test_capping_esd.cc.o"
+  "CMakeFiles/test_capping_esd.dir/test_capping_esd.cc.o.d"
+  "test_capping_esd"
+  "test_capping_esd.pdb"
+  "test_capping_esd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capping_esd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_routing.dir/test_power_routing.cc.o"
+  "CMakeFiles/test_power_routing.dir/test_power_routing.cc.o.d"
+  "test_power_routing"
+  "test_power_routing.pdb"
+  "test_power_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_tree.dir/test_power_tree.cc.o"
+  "CMakeFiles/test_power_tree.dir/test_power_tree.cc.o.d"
+  "test_power_tree"
+  "test_power_tree.pdb"
+  "test_power_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

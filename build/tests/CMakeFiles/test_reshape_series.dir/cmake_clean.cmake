@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reshape_series.dir/test_reshape_series.cc.o"
+  "CMakeFiles/test_reshape_series.dir/test_reshape_series.cc.o.d"
+  "test_reshape_series"
+  "test_reshape_series.pdb"
+  "test_reshape_series[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reshape_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

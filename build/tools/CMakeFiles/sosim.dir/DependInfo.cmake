@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/sosim_cli.cc" "tools/CMakeFiles/sosim.dir/sosim_cli.cc.o" "gcc" "tools/CMakeFiles/sosim.dir/sosim_cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sosim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/sosim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sosim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sosim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sosim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sosim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sosim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sosim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

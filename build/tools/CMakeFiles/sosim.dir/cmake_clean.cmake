@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sosim.dir/sosim_cli.cc.o"
+  "CMakeFiles/sosim.dir/sosim_cli.cc.o.d"
+  "sosim"
+  "sosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/sosim" "generate" "--dc" "3" "--scale" "0.1" "--interval" "30" "--out" "/root/repo/build/cli_traces.csv")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_place "/root/repo/build/tools/sosim" "place" "--traces" "/root/repo/build/cli_traces.csv" "--out" "/root/repo/build/cli_placement.csv")
+set_tests_properties(cli_place PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_evaluate "/root/repo/build/tools/sosim" "evaluate" "--traces" "/root/repo/build/cli_traces.csv" "--assignment" "/root/repo/build/cli_placement.csv")
+set_tests_properties(cli_evaluate PROPERTIES  DEPENDS "cli_place" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_report "/root/repo/build/tools/sosim" "report" "--dc" "1" "--scale" "0.1" "--interval" "30")
+set_tests_properties(cli_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/sosim")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_dc "/root/repo/build/tools/sosim" "report" "--dc" "4")
+set_tests_properties(cli_bad_dc PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_missing_flag "/root/repo/build/tools/sosim" "generate" "--dc" "1")
+set_tests_properties(cli_missing_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_command "/root/repo/build/tools/sosim" "frobnicate" "--x" "1")
+set_tests_properties(cli_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_traces "/root/repo/build/tools/sosim" "place" "--traces" "/nonexistent.csv" "--out" "/tmp/nope.csv")
+set_tests_properties(cli_bad_traces PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
