@@ -5,20 +5,27 @@
 #include <limits>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace sosim::cluster {
+
+double
+squaredDistance(const double *a, const double *b, std::size_t dim)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
 
 double
 squaredDistance(const Point &a, const Point &b)
 {
     SOSIM_REQUIRE(a.size() == b.size(),
                   "squaredDistance: dimension mismatch");
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        const double d = a[i] - b[i];
-        acc += d * d;
-    }
-    return acc;
+    return squaredDistance(a.data(), b.data(), a.size());
 }
 
 namespace {
@@ -74,24 +81,34 @@ lloyd(const std::vector<Point> &points, std::vector<Point> centroids,
 
     KMeansResult result;
     result.assignment.assign(n, 0);
+    std::vector<double> best_dist(n);
     double prev_inertia = std::numeric_limits<double>::max();
 
     for (int iter = 0; iter < config.maxIterations; ++iter) {
-        // Assignment step.
-        double inertia = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            double best = std::numeric_limits<double>::max();
-            std::size_t best_c = 0;
-            for (std::size_t c = 0; c < k; ++c) {
-                const double d = squaredDistance(points[i], centroids[c]);
-                if (d < best) {
-                    best = d;
-                    best_c = c;
+        // Assignment step: each point is independent, so fan the
+        // distance loops out; inertia is reduced serially below, in
+        // index order, keeping the sum identical for any thread count.
+        util::parallelFor(
+            n,
+            [&](std::size_t i) {
+                const double *p = points[i].data();
+                double best = std::numeric_limits<double>::max();
+                std::size_t best_c = 0;
+                for (std::size_t c = 0; c < k; ++c) {
+                    const double d =
+                        squaredDistance(p, centroids[c].data(), dim);
+                    if (d < best) {
+                        best = d;
+                        best_c = c;
+                    }
                 }
-            }
-            result.assignment[i] = best_c;
-            inertia += best;
-        }
+                result.assignment[i] = best_c;
+                best_dist[i] = best;
+            },
+            /*min_grain=*/64);
+        double inertia = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            inertia += best_dist[i];
 
         // Update step.
         std::vector<Point> sums(k, Point(dim, 0.0));
@@ -138,15 +155,28 @@ kMeans(const std::vector<Point> &points, const KMeansConfig &config)
     for (const auto &p : points)
         SOSIM_REQUIRE(p.size() == dim, "kMeans: inconsistent dimensions");
 
+    // Derive every restart's seed up front from one generator, then run
+    // the restarts independently (and in parallel); the winner is picked
+    // serially in restart order, so ties resolve to the earliest restart
+    // exactly as a serial loop would.
     util::Rng rng(config.seed);
+    std::vector<std::uint64_t> seeds(
+        static_cast<std::size_t>(config.restarts));
+    for (auto &s : seeds)
+        s = rng.engine()();
+
+    std::vector<KMeansResult> runs(seeds.size());
+    util::parallelFor(seeds.size(), [&](std::size_t r) {
+        util::Rng restart_rng(seeds[r]);
+        auto seeded = seedPlusPlus(points, config.k, restart_rng);
+        runs[r] = lloyd(points, std::move(seeded), config);
+    });
+
     KMeansResult best;
     best.inertia = std::numeric_limits<double>::max();
-    for (int r = 0; r < config.restarts; ++r) {
-        auto seeded = seedPlusPlus(points, config.k, rng);
-        auto result = lloyd(points, std::move(seeded), config);
-        if (result.inertia < best.inertia)
-            best = std::move(result);
-    }
+    for (auto &run : runs)
+        if (run.inertia < best.inertia)
+            best = std::move(run);
     return best;
 }
 

@@ -22,6 +22,12 @@ using Point = std::vector<double>;
 /** Squared Euclidean distance between two equal-dimension points. */
 double squaredDistance(const Point &a, const Point &b);
 
+/**
+ * Squared Euclidean distance over raw spans (the view form used by the
+ * hot per-point loops; no size check).
+ */
+double squaredDistance(const double *a, const double *b, std::size_t dim);
+
 /** Parameters for a k-means run. */
 struct KMeansConfig {
     /** Number of clusters; must be >= 1 and <= number of points. */
@@ -30,7 +36,12 @@ struct KMeansConfig {
     int maxIterations = 100;
     /** Stop when inertia improves by less than this relative amount. */
     double tolerance = 1e-6;
-    /** Independent restarts; the best-inertia run wins. */
+    /**
+     * Independent restarts; the best-inertia run wins (earliest restart
+     * on ties).  Each restart draws from its own seed derived up front
+     * from `seed`, so restarts are independent of each other and run in
+     * parallel with results identical to the serial order.
+     */
     int restarts = 3;
     /** RNG seed for seeding and restarts. */
     std::uint64_t seed = 42;

@@ -1,6 +1,10 @@
 #include "asynchrony.h"
 
+#include <algorithm>
+
+#include "trace/kernels.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace sosim::core {
 
@@ -8,14 +12,21 @@ double
 asynchronyScore(const std::vector<const trace::TimeSeries *> &traces)
 {
     SOSIM_REQUIRE(!traces.empty(), "asynchronyScore: need traces");
-    double peak_sum = 0.0;
-    for (const auto *t : traces) {
+    for (const auto *t : traces)
         SOSIM_REQUIRE(t != nullptr, "asynchronyScore: null trace");
-        peak_sum += t->peak();
+
+    double peak_sum = 0.0;
+    trace::TimeSeries aggregate =
+        trace::TimeSeries::zeros(traces.front()->size(),
+                                 traces.front()->intervalMinutes());
+    double aggregate_peak = 0.0;
+    for (const auto *t : traces) {
+        peak_sum += t->stats().peak;
+        // Fused add + max-scan; the last call's return value is peak(Σ).
+        aggregate_peak = trace::accumulatePeak(aggregate, *t);
     }
-    const double aggregate_peak = trace::sumSeries(traces).peak();
-    SOSIM_REQUIRE(aggregate_peak > 0.0,
-                  "asynchronyScore: aggregate peak must be positive");
+    if (aggregate_peak <= 0.0)
+        return 0.0; // Eq. 6 undefined: zero-power convention.
     return peak_sum / aggregate_peak;
 }
 
@@ -32,10 +43,10 @@ asynchronyScore(const std::vector<trace::TimeSeries> &traces)
 double
 pairAsynchronyScore(const trace::TimeSeries &a, const trace::TimeSeries &b)
 {
-    const double aggregate_peak = (a + b).peak();
-    SOSIM_REQUIRE(aggregate_peak > 0.0,
-                  "pairAsynchronyScore: aggregate peak must be positive");
-    return (a.peak() + b.peak()) / aggregate_peak;
+    const double aggregate_peak = trace::peakOfSum(a, b);
+    if (aggregate_peak <= 0.0)
+        return 0.0; // Eq. 7 undefined: zero-power convention.
+    return (a.stats().peak + b.stats().peak) / aggregate_peak;
 }
 
 cluster::Point
@@ -54,10 +65,18 @@ std::vector<cluster::Point>
 scoreVectors(const std::vector<trace::TimeSeries> &itraces,
              const std::vector<trace::TimeSeries> &straces)
 {
-    std::vector<cluster::Point> out;
-    out.reserve(itraces.size());
-    for (const auto &itrace : itraces)
-        out.push_back(scoreVector(itrace, straces));
+    SOSIM_REQUIRE(!straces.empty(), "scoreVectors: need S-traces");
+    // Warm the shared stats caches serially: the row workers only read
+    // them (see the threading note on TimeSeries::stats()).
+    for (const auto &s : straces)
+        s.stats();
+    for (const auto &t : itraces)
+        t.stats();
+
+    std::vector<cluster::Point> out(itraces.size());
+    util::parallelFor(itraces.size(), [&](std::size_t i) {
+        out[i] = scoreVector(itraces[i], straces);
+    });
     return out;
 }
 
@@ -68,10 +87,81 @@ differentialScore(const trace::TimeSeries &itrace,
 {
     SOSIM_REQUIRE(other_count >= 1,
                   "differentialScore: need at least one other instance");
-    // PA_{i,N}: the *average* trace of the node's other instances.
+    // PA_{i,N} is the *average* trace of the node's other instances;
+    // fold the 1/count scale into the kernels instead of materializing
+    // a scaled copy.  peak(s * x) == s * peak(x) for s > 0.
+    const double scale = 1.0 / static_cast<double>(other_count);
+    const double aggregate_peak =
+        trace::peakOfScaledSum(itrace, node_others, scale);
+    if (aggregate_peak <= 0.0)
+        return 0.0; // Zero-power convention.
+    return (itrace.stats().peak + scale * node_others.stats().peak) /
+           aggregate_peak;
+}
+
+namespace reference {
+
+namespace {
+
+/**
+ * Uncached peak: one max_element scan per call, exactly what the
+ * pre-kernel implementation paid.  The cached TimeSeries::peak() would
+ * make the reference look faster than the code it stands in for.
+ */
+double
+scanPeak(const trace::TimeSeries &t)
+{
+    SOSIM_REQUIRE(!t.empty(), "reference::scanPeak: series is empty");
+    return *std::max_element(t.samples().begin(), t.samples().end());
+}
+
+} // namespace
+
+double
+pairAsynchronyScore(const trace::TimeSeries &a, const trace::TimeSeries &b)
+{
+    const double aggregate_peak = scanPeak(a + b);
+    if (aggregate_peak <= 0.0)
+        return 0.0;
+    return (scanPeak(a) + scanPeak(b)) / aggregate_peak;
+}
+
+cluster::Point
+scoreVector(const trace::TimeSeries &itrace,
+            const std::vector<trace::TimeSeries> &straces)
+{
+    SOSIM_REQUIRE(!straces.empty(), "reference::scoreVector: need S-traces");
+    cluster::Point v;
+    v.reserve(straces.size());
+    for (const auto &s : straces)
+        v.push_back(reference::pairAsynchronyScore(itrace, s));
+    return v;
+}
+
+std::vector<cluster::Point>
+scoreVectors(const std::vector<trace::TimeSeries> &itraces,
+             const std::vector<trace::TimeSeries> &straces)
+{
+    std::vector<cluster::Point> out;
+    out.reserve(itraces.size());
+    for (const auto &itrace : itraces)
+        out.push_back(reference::scoreVector(itrace, straces));
+    return out;
+}
+
+double
+differentialScore(const trace::TimeSeries &itrace,
+                  const trace::TimeSeries &node_others,
+                  std::size_t other_count)
+{
+    SOSIM_REQUIRE(other_count >= 1,
+                  "reference::differentialScore: need at least one other "
+                  "instance");
     trace::TimeSeries pa = node_others;
     pa *= 1.0 / static_cast<double>(other_count);
-    return pairAsynchronyScore(itrace, pa);
+    return reference::pairAsynchronyScore(itrace, pa);
 }
+
+} // namespace reference
 
 } // namespace sosim::core

@@ -13,6 +13,20 @@
  * when the members' peaks are perfectly complementary.  Instances are
  * embedded for clustering as vectors of instance-to-service (I-to-S)
  * scores against the top power-consumer services' S-traces.
+ *
+ * Zero-power convention (uniform across the library, including
+ * Remapper::rackScores): Eq. 6 is undefined when the aggregate trace has
+ * no positive peak (e.g. all-zero traces), and every scoring entry point
+ * returns the sentinel 0.0 for that case.  0.0 is outside the score's
+ * theoretical range [1, |M|], so callers can detect it, and it sorts
+ * below every defined score — a zero-power node never looks smoother
+ * than a powered one.
+ *
+ * Implementation: scores run on the fused kernels of trace/kernels.h
+ * (single pass, no temporaries) with per-trace peaks served from the
+ * TraceStats cache; scoreVectors fans rows out via util::parallelFor.
+ * The materializing formulas are retained in core::reference for
+ * property tests and A/B benchmarks.
  */
 
 #include <vector>
@@ -23,11 +37,19 @@
 namespace sosim::core {
 
 /**
+ * Which scoreVectors implementation a consumer routes through: the fused
+ * kernel path (production) or the materializing reference (A/B
+ * benchmarking and identity tests; see core::reference below).  The two
+ * produce bit-identical scores.
+ */
+enum class ScoringImpl { kFused, kReference };
+
+/**
  * Asynchrony score of a set of power traces (Eq. 6).
  *
- * @param traces Member traces; all aligned, at least one, and the
- *               aggregate peak must be positive.
- * @return Score in [1, |traces|] up to floating-point rounding.
+ * @param traces Member traces; all aligned, at least one, no nulls.
+ * @return Score in [1, |traces|] up to floating-point rounding, or 0.0
+ *         when the aggregate peak is not positive (see file comment).
  */
 double asynchronyScore(const std::vector<const trace::TimeSeries *> &traces);
 
@@ -36,7 +58,8 @@ double asynchronyScore(const std::vector<trace::TimeSeries> &traces);
 
 /**
  * Pairwise asynchrony score between two traces (Eq. 7):
- * (peak(a) + peak(b)) / peak(a + b).
+ * (peak(a) + peak(b)) / peak(a + b); 0.0 on a non-positive aggregate
+ * peak.
  */
 double pairAsynchronyScore(const trace::TimeSeries &a,
                            const trace::TimeSeries &b);
@@ -53,7 +76,11 @@ double pairAsynchronyScore(const trace::TimeSeries &a,
 cluster::Point scoreVector(const trace::TimeSeries &itrace,
                            const std::vector<trace::TimeSeries> &straces);
 
-/** Score vectors for a whole population of instances. */
+/**
+ * Score vectors for a whole population of instances.  Rows are computed
+ * in parallel (util::parallelFor) with per-row output slots, so the
+ * result is bit-identical to the serial evaluation for any thread count.
+ */
 std::vector<cluster::Point>
 scoreVectors(const std::vector<trace::TimeSeries> &itraces,
              const std::vector<trace::TimeSeries> &straces);
@@ -66,6 +93,7 @@ scoreVectors(const std::vector<trace::TimeSeries> &itraces,
  *
  * where PA_{i,N} is the average of the I-traces of N's other instances.
  * Low AD flags the instance whose peak coincides worst with its node.
+ * Computed fused — no per-call copy or scale of node_others.
  *
  * @param itrace      Averaged I-trace of the instance under evaluation.
  * @param node_others Sum of the averaged I-traces of every *other*
@@ -75,6 +103,36 @@ scoreVectors(const std::vector<trace::TimeSeries> &itraces,
 double differentialScore(const trace::TimeSeries &itrace,
                          const trace::TimeSeries &node_others,
                          std::size_t other_count);
+
+/**
+ * Materializing reference implementations of the scores above: the naive
+ * "build the aggregate TimeSeries, then take its peak" formulas the fused
+ * kernels replace.  Kept for property tests (fused results must match
+ * these bit for bit) and A/B benchmarking (bench/perf_micro,
+ * tools/bench_report).  Serial; allocate per call; do not use on hot
+ * paths.
+ */
+namespace reference {
+
+/** Naive Eq. 7: materializes a + b. */
+double pairAsynchronyScore(const trace::TimeSeries &a,
+                           const trace::TimeSeries &b);
+
+/** Naive score vector built on reference::pairAsynchronyScore. */
+cluster::Point scoreVector(const trace::TimeSeries &itrace,
+                           const std::vector<trace::TimeSeries> &straces);
+
+/** Naive, serial population embedding. */
+std::vector<cluster::Point>
+scoreVectors(const std::vector<trace::TimeSeries> &itraces,
+             const std::vector<trace::TimeSeries> &straces);
+
+/** Naive AD score: copies and scales node_others per call. */
+double differentialScore(const trace::TimeSeries &itrace,
+                         const trace::TimeSeries &node_others,
+                         std::size_t other_count);
+
+} // namespace reference
 
 } // namespace sosim::core
 

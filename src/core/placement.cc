@@ -5,8 +5,23 @@
 #include "core/asynchrony.h"
 #include "core/service_traces.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace sosim::core {
+
+namespace {
+
+/** Route the population embedding through the configured implementation. */
+std::vector<cluster::Point>
+embed(const std::vector<trace::TimeSeries> &itraces,
+      const std::vector<trace::TimeSeries> &straces, ScoringImpl impl)
+{
+    if (impl == ScoringImpl::kReference)
+        return reference::scoreVectors(itraces, straces);
+    return scoreVectors(itraces, straces);
+}
+
+} // namespace
 
 PlacementEngine::PlacementEngine(const power::PowerTree &tree,
                                  PlacementConfig config)
@@ -28,7 +43,7 @@ PlacementEngine::place(const std::vector<trace::TimeSeries> &itraces,
 
     const auto straces =
         extractServiceTraces(itraces, service_of, config_.topServices);
-    const auto vectors = scoreVectors(itraces, straces.straces);
+    const auto vectors = embed(itraces, straces.straces, config_.scoring);
 
     std::vector<std::size_t> ids(itraces.size());
     for (std::size_t i = 0; i < ids.size(); ++i)
@@ -76,7 +91,8 @@ PlacementEngine::placeSubtree(const std::vector<trace::TimeSeries> &itraces,
     }
     const auto straces =
         extractServiceTraces(sub_traces, sub_service, config_.topServices);
-    const auto sub_vectors = scoreVectors(sub_traces, straces.straces);
+    const auto sub_vectors =
+        embed(sub_traces, straces.straces, config_.scoring);
 
     // distribute() indexes vectors by instance id; scatter the subtree's
     // vectors into a full-size table.
@@ -138,13 +154,16 @@ PlacementEngine::distribute(const std::vector<cluster::Point> &vectors,
                 per_child[(m + c) % q].push_back(clusters[c][m]);
     }
 
-    for (std::size_t child = 0; child < q; ++child) {
+    // Children are independent subproblems writing disjoint assignment
+    // slots, and each child's clustering seed depends only on (seed,
+    // child) — so the recursion fans out without affecting results.
+    util::parallelFor(q, [&](std::size_t child) {
         if (per_child[child].empty())
-            continue;
+            return;
         distribute(vectors, std::move(per_child[child]),
                    n.children[child], assignment,
                    seed + child + 1);
-    }
+    });
 }
 
 } // namespace sosim::core

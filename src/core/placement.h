@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cluster/kmeans.h"
+#include "core/asynchrony.h"
 #include "power/power_tree.h"
 #include "trace/time_series.h"
 
@@ -38,6 +39,12 @@ struct PlacementConfig {
     int kmeansMaxIterations = 50;
     /** Seed for the clustering. */
     std::uint64_t seed = 42;
+    /**
+     * Scoring implementation: the fused kernel path (default) or the
+     * materializing reference.  Both yield bit-identical placements for
+     * a fixed seed; kReference exists for A/B benchmarks and tests.
+     */
+    ScoringImpl scoring = ScoringImpl::kFused;
 };
 
 /**

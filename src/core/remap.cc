@@ -4,13 +4,20 @@
 #include <limits>
 
 #include "core/asynchrony.h"
+#include "trace/kernels.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace sosim::core {
 
 namespace {
 
-/** Mutable per-rack state kept while searching for swaps. */
+/**
+ * Mutable per-rack state kept while searching for swaps.  The aggregate
+ * is maintained incrementally across accepted swaps (one subtract and
+ * one add per side) instead of being re-summed, and its peak is served
+ * from the TimeSeries stats cache — unchanged racks cost O(1) per round.
+ */
 struct RackState {
     std::vector<std::size_t> members;
     trace::TimeSeries aggregate;
@@ -24,24 +31,40 @@ rackAsynchrony(const RackState &rack)
         return 0.0;
     const double aggregate_peak = rack.aggregate.peak();
     if (aggregate_peak <= 0.0)
-        return 0.0;
+        return 0.0; // Zero-power convention (see core/asynchrony.h).
     return rack.peakSum / aggregate_peak;
 }
 
 /**
  * Differential asynchrony score of a candidate trace against a rack's
- * other members (Eq. in section 3.6), where `others` is the rack's
- * aggregate minus the member itself when evaluating a current member, or
- * the full aggregate when evaluating an incoming instance.
+ * members minus `out_member` (section 3.6), computed fused from the
+ * rack's standing aggregate: no `aggregate - member` temporary, no
+ * scaled copy.  `out_member` is the member leaving the rack (or being
+ * scored against its own rack-mates).
  */
 double
-diffScore(const trace::TimeSeries &candidate,
-          const trace::TimeSeries &others, std::size_t other_count)
+diffScoreFused(const trace::TimeSeries &candidate, const RackState &rack,
+               const trace::TimeSeries &out_member,
+               std::size_t other_count)
 {
     if (other_count == 0)
         return 2.0; // Joining an empty rack can never clash.
-    return differentialScore(candidate, others, other_count);
+    const double scale = 1.0 / static_cast<double>(other_count);
+    const double others_peak =
+        trace::peakOfDiff(rack.aggregate, out_member);
+    const double aggregate_peak = trace::peakOfAddScaledDiff(
+        candidate, rack.aggregate, out_member, scale);
+    if (aggregate_peak <= 0.0)
+        return 0.0; // Zero-power convention.
+    return (candidate.stats().peak + scale * others_peak) / aggregate_peak;
 }
+
+/** Best swap found while scanning one (candidate, rack B) pair. */
+struct LocalBest {
+    double gain = 0.0;
+    std::size_t posB = 0;
+    SwapRecord record;
+};
 
 } // namespace
 
@@ -81,7 +104,13 @@ Remapper::refine(power::Assignment &assignment,
     SOSIM_REQUIRE(assignment.size() == itraces.size(),
                   "Remapper::refine: size mismatch");
 
-    // Build per-rack state.
+    // Warm the per-instance stats caches serially up front: the parallel
+    // candidate evaluation below reads them from worker threads.
+    for (const auto &t : itraces)
+        t.stats();
+
+    // Build per-rack state once; it is maintained incrementally after
+    // every accepted swap rather than rebuilt.
     std::vector<RackState> racks(tree_.nodeCount());
     const auto per_rack = tree_.instancesPerRack(assignment);
     for (const auto rack : tree_.racks()) {
@@ -93,10 +122,13 @@ Remapper::refine(power::Assignment &assignment,
             trace::TimeSeries::zeros(itraces.front().size(),
                                      itraces.front().intervalMinutes());
         for (const auto i : state.members) {
-            state.aggregate += itraces[i];
-            state.peakSum += itraces[i].peak();
+            trace::accumulatePeak(state.aggregate, itraces[i]);
+            state.peakSum += itraces[i].stats().peak;
         }
     }
+
+    // Rack ids once, for the flattened candidate×rack task grid.
+    const auto rack_ids = tree_.racks();
 
     std::vector<SwapRecord> swaps;
     std::vector<power::NodeId> tried;
@@ -104,7 +136,7 @@ Remapper::refine(power::Assignment &assignment,
         // 1. Most fragmented rack not yet exhausted this pass.
         power::NodeId worst_rack = power::kNoNode;
         double worst_score = std::numeric_limits<double>::max();
-        for (const auto rack : tree_.racks()) {
+        for (const auto rack : rack_ids) {
             if (racks[rack].members.size() < 2)
                 continue;
             if (std::find(tried.begin(), tried.end(), rack) != tried.end())
@@ -119,75 +151,93 @@ Remapper::refine(power::Assignment &assignment,
             break; // Every rack tried without an accepted swap.
 
         auto &rack_a = racks[worst_rack];
+        // Warm the aggregate peaks serially before the parallel scan.
+        for (const auto rack : rack_ids)
+            if (!racks[rack].members.empty())
+                racks[rack].aggregate.stats();
 
         // 2. Members with the worst differential asynchrony scores.
-        std::vector<std::pair<double, std::size_t>> scored;
-        scored.reserve(rack_a.members.size());
-        for (const auto i : rack_a.members) {
-            const trace::TimeSeries others = rack_a.aggregate - itraces[i];
-            scored.emplace_back(
-                diffScore(itraces[i], others, rack_a.members.size() - 1),
-                i);
-        }
+        std::vector<std::pair<double, std::size_t>> scored(
+            rack_a.members.size());
+        util::parallelFor(rack_a.members.size(), [&](std::size_t m) {
+            const std::size_t i = rack_a.members[m];
+            scored[m] = {diffScoreFused(itraces[i], rack_a, itraces[i],
+                                        rack_a.members.size() - 1),
+                         i};
+        });
         std::sort(scored.begin(), scored.end());
         const std::size_t candidates =
             std::min(config_.candidatesPerRound, scored.size());
 
-        // 3. Best improving swap across all other racks.
+        // 3. Best improving swap across all other racks: evaluate every
+        // (candidate, rack B) pair independently in parallel, then reduce
+        // serially in the exact order of the equivalent nested loop so
+        // ties resolve identically for any thread count.
+        const std::size_t tasks = candidates * rack_ids.size();
+        std::vector<LocalBest> local(tasks);
+        util::parallelFor(tasks, [&](std::size_t task) {
+            const std::size_t c = task / rack_ids.size();
+            const power::NodeId rack_b_id = rack_ids[task % rack_ids.size()];
+            if (rack_b_id == worst_rack)
+                return;
+            const auto &rack_b = racks[rack_b_id];
+            if (rack_b.members.empty())
+                return;
+            const std::size_t inst_a = scored[c].second;
+            const double score_a_before = scored[c].first;
+
+            LocalBest &best = local[task];
+            for (std::size_t pos_b = 0; pos_b < rack_b.members.size();
+                 ++pos_b) {
+                const std::size_t inst_b = rack_b.members[pos_b];
+                const double score_b_before =
+                    diffScoreFused(itraces[inst_b], rack_b,
+                                   itraces[inst_b],
+                                   rack_b.members.size() - 1);
+                // Post-swap: B joins A's others, A joins B's others.
+                const double score_a_after =
+                    diffScoreFused(itraces[inst_b], rack_a,
+                                   itraces[inst_a],
+                                   rack_a.members.size() - 1);
+                const double score_b_after =
+                    diffScoreFused(itraces[inst_a], rack_b,
+                                   itraces[inst_b],
+                                   rack_b.members.size() - 1);
+                // Accept only swaps improving both nodes (paper rule).
+                if (score_a_after <= score_a_before ||
+                    score_b_after <= score_b_before) {
+                    continue;
+                }
+                const double gain = (score_a_after - score_a_before) +
+                                    (score_b_after - score_b_before);
+                if (gain > best.gain) {
+                    best.gain = gain;
+                    best.posB = pos_b;
+                    best.record.instanceA = inst_a;
+                    best.record.instanceB = inst_b;
+                    best.record.rackA = worst_rack;
+                    best.record.rackB = rack_b_id;
+                    best.record.scoreAtABefore = score_a_before;
+                    best.record.scoreAtAAfter = score_a_after;
+                    best.record.scoreAtBBefore = score_b_before;
+                    best.record.scoreAtBAfter = score_b_after;
+                }
+            }
+        });
+
         SwapRecord best;
         double best_gain = 0.0;
         std::size_t best_b_pos = 0;
-        for (std::size_t c = 0; c < candidates; ++c) {
-            const std::size_t inst_a = scored[c].second;
-            const double score_a_before = scored[c].first;
-            const trace::TimeSeries others_a =
-                rack_a.aggregate - itraces[inst_a];
-
-            for (const auto rack_b_id : tree_.racks()) {
-                if (rack_b_id == worst_rack)
-                    continue;
-                auto &rack_b = racks[rack_b_id];
-                if (rack_b.members.empty())
-                    continue;
-                for (std::size_t pos_b = 0; pos_b < rack_b.members.size();
-                     ++pos_b) {
-                    const std::size_t inst_b = rack_b.members[pos_b];
-                    const trace::TimeSeries others_b =
-                        rack_b.aggregate - itraces[inst_b];
-                    const double score_b_before =
-                        diffScore(itraces[inst_b], others_b,
-                                  rack_b.members.size() - 1);
-                    // Post-swap: B joins A's others, A joins B's others.
-                    const double score_a_after =
-                        diffScore(itraces[inst_b], others_a,
-                                  rack_a.members.size() - 1);
-                    const double score_b_after =
-                        diffScore(itraces[inst_a], others_b,
-                                  rack_b.members.size() - 1);
-                    // Accept only swaps improving both nodes (paper rule).
-                    if (score_a_after <= score_a_before ||
-                        score_b_after <= score_b_before) {
-                        continue;
-                    }
-                    const double gain = (score_a_after - score_a_before) +
-                                        (score_b_after - score_b_before);
-                    if (gain > best_gain) {
-                        best_gain = gain;
-                        best.instanceA = inst_a;
-                        best.instanceB = inst_b;
-                        best.rackA = worst_rack;
-                        best.rackB = rack_b_id;
-                        best.scoreAtABefore = score_a_before;
-                        best.scoreAtAAfter = score_a_after;
-                        best.scoreAtBBefore = score_b_before;
-                        best.scoreAtBAfter = score_b_after;
-                        best_b_pos = pos_b;
-                    }
-                }
+        for (const auto &lb : local) {
+            if (lb.gain > best_gain) {
+                best_gain = lb.gain;
+                best = lb.record;
+                best_b_pos = lb.posB;
             }
         }
+
         if (best_gain > 0.0) {
-            // Apply the swap and update both racks' state.
+            // Apply the swap and update both racks' state incrementally.
             auto &rack_b = racks[best.rackB];
             auto it_a = std::find(rack_a.members.begin(),
                                   rack_a.members.end(), best.instanceA);
@@ -198,12 +248,12 @@ Remapper::refine(power::Assignment &assignment,
 
             rack_a.aggregate -= itraces[best.instanceA];
             rack_a.aggregate += itraces[best.instanceB];
-            rack_a.peakSum += itraces[best.instanceB].peak() -
-                              itraces[best.instanceA].peak();
+            rack_a.peakSum += itraces[best.instanceB].stats().peak -
+                              itraces[best.instanceA].stats().peak;
             rack_b.aggregate -= itraces[best.instanceB];
             rack_b.aggregate += itraces[best.instanceA];
-            rack_b.peakSum += itraces[best.instanceA].peak() -
-                              itraces[best.instanceB].peak();
+            rack_b.peakSum += itraces[best.instanceA].stats().peak -
+                              itraces[best.instanceB].stats().peak;
 
             assignment[best.instanceA] = best.rackB;
             assignment[best.instanceB] = best.rackA;

@@ -1,0 +1,125 @@
+#include "kernels.h"
+
+#include "util/error.h"
+
+namespace sosim::trace {
+
+namespace {
+
+void
+requireAligned(TraceView a, TraceView b, const char *what)
+{
+    SOSIM_REQUIRE(!a.empty(), what);
+    SOSIM_REQUIRE(a.alignedWith(b), what);
+}
+
+} // namespace
+
+TraceView
+TraceView::slice(std::size_t first, std::size_t len) const
+{
+    SOSIM_REQUIRE(first + len <= size_, "TraceView::slice: range out of bounds");
+    return TraceView(data_ + first, len, intervalMinutes_);
+}
+
+TraceStats
+computeStats(TraceView v)
+{
+    SOSIM_REQUIRE(!v.empty(), "computeStats: view is empty");
+    TraceStats st;
+    st.peak = v[0];
+    st.valley = v[0];
+    st.sum = v[0];
+    st.peakIndex = 0;
+    for (std::size_t i = 1; i < v.size(); ++i) {
+        const double x = v[i];
+        if (x > st.peak) {
+            st.peak = x;
+            st.peakIndex = i;
+        }
+        if (x < st.valley)
+            st.valley = x;
+        st.sum += x;
+    }
+    st.mean = st.sum / static_cast<double>(v.size());
+    return st;
+}
+
+double
+peakOfSum(TraceView a, TraceView b)
+{
+    requireAligned(a, b, "peakOfSum: views must be aligned and non-empty");
+    double best = a[0] + b[0];
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        const double x = a[i] + b[i];
+        if (x > best)
+            best = x;
+    }
+    return best;
+}
+
+double
+peakOfScaledSum(TraceView a, TraceView b, double scale)
+{
+    requireAligned(a, b,
+                   "peakOfScaledSum: views must be aligned and non-empty");
+    // Two rounding steps per element (multiply, then add), exactly like
+    // materializing `b * scale` first and adding it to `a`.
+    double best = a[0] + scale * b[0];
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        const double x = a[i] + scale * b[i];
+        if (x > best)
+            best = x;
+    }
+    return best;
+}
+
+double
+peakOfDiff(TraceView a, TraceView b)
+{
+    requireAligned(a, b, "peakOfDiff: views must be aligned and non-empty");
+    double best = a[0] - b[0];
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        const double x = a[i] - b[i];
+        if (x > best)
+            best = x;
+    }
+    return best;
+}
+
+double
+peakOfAddScaledDiff(TraceView c, TraceView a, TraceView b, double scale)
+{
+    requireAligned(c, a,
+                   "peakOfAddScaledDiff: views must be aligned, non-empty");
+    requireAligned(c, b,
+                   "peakOfAddScaledDiff: views must be aligned, non-empty");
+    double best = c[0] + scale * (a[0] - b[0]);
+    for (std::size_t i = 1; i < c.size(); ++i) {
+        const double x = c[i] + scale * (a[i] - b[i]);
+        if (x > best)
+            best = x;
+    }
+    return best;
+}
+
+double
+accumulatePeak(TimeSeries &dst, TraceView src)
+{
+    SOSIM_REQUIRE(!dst.empty(),
+                  "accumulatePeak: destination must be non-empty");
+    SOSIM_REQUIRE(TraceView(dst).alignedWith(src),
+                  "accumulatePeak: views must be aligned");
+    // Taking one mutable reference invalidates dst's stats cache; the
+    // remaining writes go through the raw pointer.
+    double *d = &dst[0];
+    double best = (d[0] += src[0]);
+    for (std::size_t i = 1; i < dst.size(); ++i) {
+        const double x = (d[i] += src[i]);
+        if (x > best)
+            best = x;
+    }
+    return best;
+}
+
+} // namespace sosim::trace

@@ -1,0 +1,125 @@
+#ifndef SOSIM_TRACE_KERNELS_H
+#define SOSIM_TRACE_KERNELS_H
+
+/**
+ * @file
+ * Non-owning trace views and allocation-free scoring kernels.
+ *
+ * Every asynchrony score in the system reduces to "the peak of a (scaled)
+ * sum of week-long vectors" (Eq. 6-7).  The naive formulation materializes
+ * the sum as a temporary TimeSeries just to take its maximum; at placement
+ * scale that is one heap allocation and several extra memory passes per
+ * scored pair.  The kernels here fuse the arithmetic with the max-scan so
+ * each score is a single pass over the operands and never allocates.
+ *
+ * Determinism note: every kernel applies the same floating-point operations
+ * in the same order as the materializing formulation it replaces
+ * (element-wise op, then running max), so results are bit-identical to the
+ * `(a + b).peak()` style they replace.  tests/test_kernels.cc pins this.
+ */
+
+#include <cstddef>
+
+#include "trace/time_series.h"
+
+namespace sosim::trace {
+
+/**
+ * A non-owning view of a trace: a span of samples plus the sampling
+ * interval.  Cheap to copy (pointer + size + int); the viewed storage must
+ * outlive the view.  TimeSeries converts implicitly, so every kernel can
+ * be called directly on owned traces or on raw sample buffers.
+ */
+class TraceView
+{
+  public:
+    /** An empty view. */
+    TraceView() = default;
+
+    /** View over a raw sample buffer. */
+    TraceView(const double *data, std::size_t size, int interval_minutes)
+        : data_(data), size_(size), intervalMinutes_(interval_minutes)
+    {}
+
+    /** Implicit view of an owned series (lifetime: the series). */
+    TraceView(const TimeSeries &ts)
+        : data_(ts.samples().data()), size_(ts.size()),
+          intervalMinutes_(ts.intervalMinutes())
+    {}
+
+    /** Number of samples viewed. */
+    std::size_t size() const { return size_; }
+
+    /** True when no samples are viewed. */
+    bool empty() const { return size_ == 0; }
+
+    /** Sampling interval in minutes. */
+    int intervalMinutes() const { return intervalMinutes_; }
+
+    /** Unchecked element access. */
+    double operator[](std::size_t i) const { return data_[i]; }
+
+    /** Raw sample pointer. */
+    const double *data() const { return data_; }
+
+    /** Iteration support. */
+    const double *begin() const { return data_; }
+    const double *end() const { return data_ + size_; }
+
+    /** True when size and interval match (arithmetic is legal). */
+    bool alignedWith(const TraceView &other) const
+    {
+        return size_ == other.size_ &&
+               intervalMinutes_ == other.intervalMinutes_;
+    }
+
+    /** Contiguous sub-view of len samples starting at `first` (checked). */
+    TraceView slice(std::size_t first, std::size_t len) const;
+
+  private:
+    const double *data_ = nullptr;
+    std::size_t size_ = 0;
+    int intervalMinutes_ = 1;
+};
+
+/**
+ * Single-pass summary statistics of a trace (see TimeSeries::stats() for
+ * the cached variant).
+ */
+TraceStats computeStats(TraceView v);
+
+/** Fused peak(a + b); no temporary.  Views must be aligned, non-empty. */
+double peakOfSum(TraceView a, TraceView b);
+
+/**
+ * Fused peak(a + s*b); no temporary.  The element expression is evaluated
+ * as `a[i] + (s * b[i])`, matching the materializing `a + (b * s)` path
+ * bit for bit.  Views must be aligned and non-empty.
+ */
+double peakOfScaledSum(TraceView a, TraceView b, double scale);
+
+/** Fused peak(a - b); no temporary.  Views must be aligned, non-empty. */
+double peakOfDiff(TraceView a, TraceView b);
+
+/**
+ * Fused peak(c + s*(a - b)); no temporary.  This is the remap inner loop:
+ * the differential score of candidate `c` against a rack whose aggregate
+ * is `a` with member `b` removed, where `s = 1 / other_count`.  Matches
+ * the materializing `c + ((a - b) * s)` path bit for bit.
+ */
+double peakOfAddScaledDiff(TraceView c, TraceView a, TraceView b,
+                           double scale);
+
+/**
+ * Element-wise accumulate `src` into `dst` and return the peak of the
+ * *updated* dst, in one fused pass.  This is the building block of
+ * aggregate scores: summing n member traces costs n passes total and the
+ * final call's return value is peak(Σ).  Invalidates dst's cached stats.
+ *
+ * @return Peak of dst after the accumulation.
+ */
+double accumulatePeak(TimeSeries &dst, TraceView src);
+
+} // namespace sosim::trace
+
+#endif // SOSIM_TRACE_KERNELS_H

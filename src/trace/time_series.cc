@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
+#include "trace/kernels.h"
 #include "util/error.h"
 
 namespace sosim::trace {
@@ -38,43 +38,27 @@ double &
 TimeSeries::at(std::size_t i)
 {
     SOSIM_REQUIRE(i < samples_.size(), "TimeSeries::at: index out of range");
+    statsValid_ = false;
     return samples_[i];
 }
 
-double
-TimeSeries::peak() const
+const TraceStats &
+TimeSeries::stats() const
 {
-    SOSIM_REQUIRE(!empty(), "TimeSeries::peak: series is empty");
-    return *std::max_element(samples_.begin(), samples_.end());
-}
-
-std::size_t
-TimeSeries::peakIndex() const
-{
-    SOSIM_REQUIRE(!empty(), "TimeSeries::peakIndex: series is empty");
-    return static_cast<std::size_t>(
-        std::max_element(samples_.begin(), samples_.end()) -
-        samples_.begin());
-}
-
-double
-TimeSeries::valley() const
-{
-    SOSIM_REQUIRE(!empty(), "TimeSeries::valley: series is empty");
-    return *std::min_element(samples_.begin(), samples_.end());
-}
-
-double
-TimeSeries::mean() const
-{
-    SOSIM_REQUIRE(!empty(), "TimeSeries::mean: series is empty");
-    return sum() / static_cast<double>(samples_.size());
+    SOSIM_REQUIRE(!empty(), "TimeSeries::stats: series is empty");
+    if (!statsValid_) {
+        stats_ = computeStats(TraceView(*this));
+        statsValid_ = true;
+    }
+    return stats_;
 }
 
 double
 TimeSeries::sum() const
 {
-    return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+    if (empty())
+        return 0.0;
+    return stats().sum;
 }
 
 double
@@ -138,6 +122,7 @@ TimeSeries &
 TimeSeries::operator+=(const TimeSeries &other)
 {
     SOSIM_REQUIRE(alignedWith(other), "TimeSeries::+=: misaligned series");
+    statsValid_ = false;
     for (std::size_t i = 0; i < samples_.size(); ++i)
         samples_[i] += other.samples_[i];
     return *this;
@@ -147,6 +132,7 @@ TimeSeries &
 TimeSeries::operator-=(const TimeSeries &other)
 {
     SOSIM_REQUIRE(alignedWith(other), "TimeSeries::-=: misaligned series");
+    statsValid_ = false;
     for (std::size_t i = 0; i < samples_.size(); ++i)
         samples_[i] -= other.samples_[i];
     return *this;
@@ -155,6 +141,7 @@ TimeSeries::operator-=(const TimeSeries &other)
 TimeSeries &
 TimeSeries::operator*=(double factor)
 {
+    statsValid_ = false;
     for (auto &s : samples_)
         s *= factor;
     return *this;
@@ -182,6 +169,7 @@ void
 TimeSeries::clamp(double lo, double hi)
 {
     SOSIM_REQUIRE(lo <= hi, "TimeSeries::clamp: lo must be <= hi");
+    statsValid_ = false;
     for (auto &s : samples_)
         s = std::clamp(s, lo, hi);
 }

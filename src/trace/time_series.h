@@ -24,6 +24,26 @@ inline constexpr int kMinutesPerDay = 24 * 60;
 inline constexpr int kMinutesPerWeek = 7 * kMinutesPerDay;
 
 /**
+ * Summary statistics of a trace, computed in one pass and cached on the
+ * owning TimeSeries (see TimeSeries::stats()).  Scoring touches peak()
+ * constantly — Eq. 6-7 divide sums of member peaks by aggregate peaks —
+ * so recomputing a max-scan per score is the single hottest waste in the
+ * naive pipeline.
+ */
+struct TraceStats {
+    /** Maximum sample value; the paper's peak(P). */
+    double peak = 0.0;
+    /** Minimum sample value. */
+    double valley = 0.0;
+    /** Sum of the samples. */
+    double sum = 0.0;
+    /** Arithmetic mean of the samples. */
+    double mean = 0.0;
+    /** Index of the first maximum sample. */
+    std::size_t peakIndex = 0;
+};
+
+/**
  * A time series sampled at a fixed interval, in minutes.
  *
  * Value semantics throughout: a TimeSeries is cheap enough to copy at the
@@ -70,29 +90,45 @@ class TimeSeries
     /** Value at sample index i (checked). */
     double at(std::size_t i) const;
 
-    /** Mutable value at sample index i (checked). */
+    /** Mutable value at sample index i (checked); invalidates stats(). */
     double &at(std::size_t i);
 
-    /** Unchecked element access. */
+    /** Unchecked element access; the mutable form invalidates stats(). */
     double operator[](std::size_t i) const { return samples_[i]; }
-    double &operator[](std::size_t i) { return samples_[i]; }
+    double &operator[](std::size_t i)
+    {
+        statsValid_ = false;
+        return samples_[i];
+    }
 
     /** Underlying sample storage. */
     const std::vector<double> &samples() const { return samples_; }
 
+    /**
+     * Cached summary statistics, computed lazily in one pass and
+     * invalidated by every mutating operation (mutable at()/operator[],
+     * +=, -=, *=, clamp).  Requires non-empty.
+     *
+     * Thread-safety: the lazy fill is not synchronized.  Call stats()
+     * once (or any of peak()/valley()/mean()) before sharing a series
+     * across threads read-only; every parallel call-site in this library
+     * warms the caches serially before fanning out.
+     */
+    const TraceStats &stats() const;
+
     /** Maximum sample value; the paper's peak(P). Requires non-empty. */
-    double peak() const;
+    double peak() const { return stats().peak; }
 
     /** Index of the first maximum sample. Requires non-empty. */
-    std::size_t peakIndex() const;
+    std::size_t peakIndex() const { return stats().peakIndex; }
 
     /** Minimum sample value. Requires non-empty. */
-    double valley() const;
+    double valley() const { return stats().valley; }
 
     /** Arithmetic mean of the samples. Requires non-empty. */
-    double mean() const;
+    double mean() const { return stats().mean; }
 
-    /** Sum of the samples. */
+    /** Sum of the samples (0.0 for an empty series). */
     double sum() const;
 
     /**
@@ -140,6 +176,9 @@ class TimeSeries
   private:
     std::vector<double> samples_;
     int intervalMinutes_ = 1;
+    /** Lazily-filled stats cache; statsValid_ is the invalidation flag. */
+    mutable TraceStats stats_;
+    mutable bool statsValid_ = false;
 };
 
 /** Element-wise sum of two aligned series. */

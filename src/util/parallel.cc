@@ -1,0 +1,220 @@
+#include "parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace sosim::util {
+
+namespace {
+
+/** True inside a pool worker; nested parallelFor then runs inline. */
+thread_local bool t_inWorker = false;
+
+/** User override from setThreadCount(); 0 means "resolve automatically". */
+std::atomic<std::size_t> g_override{0};
+
+std::size_t
+resolveThreadCount()
+{
+    const std::size_t forced = g_override.load(std::memory_order_relaxed);
+    if (forced > 0)
+        return forced;
+    if (const char *env = std::getenv("SOSIM_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/**
+ * A minimal fixed-size pool executing one chunked loop at a time.  The
+ * caller thread participates as chunk 0's worker, so a pool of size k
+ * uses k-1 background threads.
+ */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(std::size_t workers)
+    {
+        threads_.reserve(workers);
+        for (std::size_t t = 0; t < workers; ++t)
+            threads_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        wake_.notify_all();
+        for (auto &t : threads_)
+            t.join();
+    }
+
+    std::size_t workers() const { return threads_.size(); }
+
+    /**
+     * Run `chunks` invocations of chunkFn (arguments 0..chunks-1) across
+     * the background workers plus the calling thread; blocks until all
+     * complete.  Only one job runs at a time (callers are serialized).
+     */
+    void
+    run(std::size_t chunks, const std::function<void(std::size_t)> &chunkFn)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        busy_.wait(lock, [this] { return !jobActive_; });
+        jobActive_ = true;
+        chunkFn_ = &chunkFn;
+        nextChunk_ = 0;
+        pendingChunks_ = chunks;
+        totalChunks_ = chunks;
+        lock.unlock();
+        wake_.notify_all();
+
+        // The caller participates as a lane of its own, so it never just
+        // blocks while the background workers drain the chunks.
+        helpOut();
+
+        lock.lock();
+        done_.wait(lock, [this] { return pendingChunks_ == 0; });
+        chunkFn_ = nullptr;
+        jobActive_ = false;
+        busy_.notify_one();
+    }
+
+  private:
+    void
+    helpOut()
+    {
+        const bool was = t_inWorker;
+        t_inWorker = true;
+        for (;;) {
+            std::size_t chunk;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (nextChunk_ >= totalChunks_)
+                    break;
+                chunk = nextChunk_++;
+            }
+            runChunk(chunk);
+        }
+        t_inWorker = was;
+    }
+
+    void
+    workerLoop()
+    {
+        t_inWorker = true;
+        for (;;) {
+            std::size_t chunk;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [this] {
+                    return stopping_ ||
+                           (chunkFn_ && nextChunk_ < totalChunks_);
+                });
+                if (stopping_)
+                    return;
+                chunk = nextChunk_++;
+            }
+            runChunk(chunk);
+        }
+    }
+
+    void
+    runChunk(std::size_t chunk)
+    {
+        (*chunkFn_)(chunk);
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pendingChunks_ == 0)
+            done_.notify_all();
+    }
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::condition_variable busy_;
+    std::vector<std::thread> threads_;
+    const std::function<void(std::size_t)> *chunkFn_ = nullptr;
+    std::size_t nextChunk_ = 0;
+    std::size_t totalChunks_ = 0;
+    std::size_t pendingChunks_ = 0;
+    bool jobActive_ = false;
+    bool stopping_ = false;
+};
+
+std::mutex g_poolMutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+/** The pool, (re)created lazily to match the resolved thread count. */
+ThreadPool &
+pool(std::size_t want_workers)
+{
+    std::lock_guard<std::mutex> lock(g_poolMutex);
+    if (!g_pool || g_pool->workers() != want_workers)
+        g_pool = std::make_unique<ThreadPool>(want_workers);
+    return *g_pool;
+}
+
+} // namespace
+
+std::size_t
+threadCount()
+{
+    return resolveThreadCount();
+}
+
+void
+setThreadCount(std::size_t n)
+{
+    g_override.store(n, std::memory_order_relaxed);
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
+            std::size_t min_grain)
+{
+    if (n == 0)
+        return;
+    const std::size_t workers = threadCount();
+    if (workers <= 1 || n < min_grain || t_inWorker) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    // Contiguous chunks, one per lane (callers plus background workers);
+    // each index is executed exactly once regardless of scheduling.
+    const std::size_t lanes = std::min(workers, n);
+    std::vector<std::exception_ptr> errors(lanes);
+    const std::function<void(std::size_t)> chunkFn =
+        [&](std::size_t chunk) {
+            const std::size_t lo = chunk * n / lanes;
+            const std::size_t hi = (chunk + 1) * n / lanes;
+            try {
+                for (std::size_t i = lo; i < hi; ++i)
+                    body(i);
+            } catch (...) {
+                errors[chunk] = std::current_exception();
+            }
+        };
+    // The caller is one lane, so only workers-1 background threads needed.
+    pool(workers - 1).run(lanes, chunkFn);
+
+    for (const auto &err : errors)
+        if (err)
+            std::rethrow_exception(err);
+}
+
+} // namespace sosim::util

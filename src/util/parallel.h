@@ -1,0 +1,62 @@
+#ifndef SOSIM_UTIL_PARALLEL_H
+#define SOSIM_UTIL_PARALLEL_H
+
+/**
+ * @file
+ * Deterministic data-parallel fan-out over a lazily-created thread pool.
+ *
+ * parallelFor(n, fn) invokes fn(i) for every i in [0, n), partitioned
+ * into contiguous chunks across the pool's worker threads.  Determinism
+ * contract: callers write results into per-index slots (out[i] = ...), so
+ * the outcome is independent of thread count and scheduling; every
+ * reduction in this library happens serially, in index order, after the
+ * fan-out returns.  With that discipline, parallel and serial runs are
+ * bit-identical — tests/test_parallel.cc pins this for the scoring,
+ * k-means, placement and remap paths.
+ *
+ * The pool is created on first use.  Thread count resolution order:
+ * setThreadCount() override > SOSIM_THREADS environment variable >
+ * std::thread::hardware_concurrency().  A count of 1 (or tiny n) runs
+ * inline with zero overhead.  Nested parallelFor calls from inside a
+ * worker run inline serially, so library layers can fan out without
+ * worrying about composition or deadlock.
+ */
+
+#include <cstddef>
+#include <functional>
+
+namespace sosim::util {
+
+/**
+ * Effective worker count used by parallelFor: the setThreadCount()
+ * override if set, else SOSIM_THREADS from the environment, else
+ * hardware concurrency (at least 1).
+ */
+std::size_t threadCount();
+
+/**
+ * Override the worker count (0 restores automatic resolution).  Resizes
+ * the pool on the next parallelFor; not safe to call concurrently with
+ * running parallelFor calls.
+ */
+void setThreadCount(std::size_t n);
+
+/**
+ * Run body(i) for every i in [0, n), fanned out across the pool in
+ * contiguous chunks.  Blocks until every index completed.  Exceptions
+ * thrown by the body are captured and the one from the lowest chunk is
+ * rethrown after all workers finish (so failure is deterministic too).
+ *
+ * @param n         Iteration count.
+ * @param body      Callback; must be safe to invoke concurrently for
+ *                  distinct indices and must not touch another index's
+ *                  output slot.
+ * @param min_grain Run inline serially when n < min_grain (fan-out
+ *                  overhead would dominate tiny loops).
+ */
+void parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
+                 std::size_t min_grain = 2);
+
+} // namespace sosim::util
+
+#endif // SOSIM_UTIL_PARALLEL_H

@@ -72,8 +72,20 @@ TEST(AsynchronyScore, Validation)
     EXPECT_THROW(
         asynchronyScore(std::vector<const TimeSeries *>{&a, nullptr}),
         FatalError);
+}
+
+TEST(AsynchronyScore, ZeroPowerAggregateReturnsSentinelEverywhere)
+{
+    // Eq. 6-7 are undefined over a zero aggregate peak; every scoring
+    // entry point returns the documented 0.0 sentinel (outside the
+    // defined range [1, |M|]) instead of some throwing and some not.
     TimeSeries zero({0.0, 0.0}, 5);
-    EXPECT_THROW(asynchronyScore({zero, zero}), FatalError);
+    EXPECT_DOUBLE_EQ(asynchronyScore({zero, zero}), 0.0);
+    EXPECT_DOUBLE_EQ(pairAsynchronyScore(zero, zero), 0.0);
+    EXPECT_DOUBLE_EQ(differentialScore(zero, zero, 3), 0.0);
+    const auto v = scoreVector(zero, {zero});
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_DOUBLE_EQ(v[0], 0.0);
 }
 
 TEST(PairScore, SymmetricInItsArguments)
@@ -144,6 +156,29 @@ TEST(DifferentialScore, MatchesPairScoreAgainstNodeAverage)
         pairAsynchronyScore(inst, others * 0.5);
     EXPECT_DOUBLE_EQ(differentialScore(inst, others, 2), expected);
     EXPECT_THROW(differentialScore(inst, others, 0), FatalError);
+}
+
+TEST(DifferentialScore, FusedMatchesNaiveFormulaOnRandomTraces)
+{
+    // Regression for the per-call copy+scale of node_others: the fused
+    // path must reproduce the naive "materialize PA = others / count,
+    // then score the pair" formula bit for bit.
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<double> dist(0.0, 2.0);
+    std::uniform_int_distribution<int> counts(1, 9);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> a(96), b(96);
+        for (auto &x : a)
+            x = dist(rng);
+        for (auto &x : b)
+            x = dist(rng);
+        TimeSeries inst(a, 5);
+        TimeSeries others(b, 5);
+        const std::size_t count = static_cast<std::size_t>(counts(rng));
+        const double naive = reference::differentialScore(inst, others,
+                                                          count);
+        EXPECT_DOUBLE_EQ(differentialScore(inst, others, count), naive);
+    }
 }
 
 TEST(DifferentialScore, LowForSynchronousInstance)

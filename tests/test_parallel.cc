@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for util::parallelFor and the library's determinism contract:
+ * for a fixed seed, the parallel code paths (scoreVectors rows, k-means
+ * restarts and assignment loops, placement recursion, remap candidate
+ * evaluation) must produce results bit-identical to a serial run, for
+ * any thread count.
+ */
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/oblivious.h"
+#include "core/asynchrony.h"
+#include "core/placement.h"
+#include "core/remap.h"
+#include "cluster/kmeans.h"
+#include "power/power_tree.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim;
+
+/** Force a specific worker count for the duration of a scope. */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(std::size_t n) { util::setThreadCount(n); }
+    ~ScopedThreads() { util::setThreadCount(0); }
+};
+
+workload::GeneratedDatacenter
+smallDc(int instances_per_service)
+{
+    workload::DatacenterSpec spec;
+    spec.name = "par-test";
+    spec.topology.suites = 2;
+    spec.topology.msbsPerSuite = 1;
+    spec.topology.sbsPerMsb = 2;
+    spec.topology.rppsPerSb = 1;
+    spec.topology.racksPerRpp = 2;
+    spec.intervalMinutes = 60;
+    spec.weeks = 1;
+    spec.seed = 17;
+    spec.services.push_back(
+        {workload::webFrontend(), instances_per_service});
+    spec.services.push_back({workload::hadoop(), instances_per_service});
+    return workload::generate(spec);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (const std::size_t threads : {std::size_t(1), std::size_t(4)}) {
+        ScopedThreads guard(threads);
+        std::vector<std::atomic<int>> hits(1000);
+        util::parallelFor(hits.size(),
+                          [&](std::size_t i) { hits[i].fetch_add(1); });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelFor, HandlesEmptyAndTinyRanges)
+{
+    ScopedThreads guard(4);
+    int calls = 0;
+    util::parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    util::parallelFor(1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NestedCallsRunInline)
+{
+    ScopedThreads guard(4);
+    std::vector<std::atomic<int>> hits(64);
+    util::parallelFor(8, [&](std::size_t outer) {
+        util::parallelFor(8, [&](std::size_t inner) {
+            hits[outer * 8 + inner].fetch_add(1);
+        });
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesBodyExceptions)
+{
+    ScopedThreads guard(4);
+    EXPECT_THROW(util::parallelFor(
+                     100,
+                     [](std::size_t i) {
+                         if (i == 57)
+                             throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+}
+
+TEST(ParallelFor, ThreadCountResolution)
+{
+    util::setThreadCount(3);
+    EXPECT_EQ(util::threadCount(), 3u);
+    util::setThreadCount(0);
+    EXPECT_GE(util::threadCount(), 1u);
+}
+
+TEST(ParallelDeterminism, ScoreVectorsBitIdenticalToSerialAndReference)
+{
+    const auto dc = smallDc(12);
+    const auto traces = dc.trainingTraces();
+    std::vector<trace::TimeSeries> straces(traces.begin(),
+                                           traces.begin() + 3);
+
+    std::vector<cluster::Point> serial, parallel;
+    {
+        ScopedThreads guard(1);
+        serial = core::scoreVectors(traces, straces);
+    }
+    {
+        ScopedThreads guard(4);
+        parallel = core::scoreVectors(traces, straces);
+    }
+    const auto naive = core::reference::scoreVectors(traces, straces);
+    // Exact equality, element for element: same doubles, not just close.
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(serial, naive);
+}
+
+TEST(ParallelDeterminism, KMeansBitIdenticalAcrossThreadCounts)
+{
+    util::Rng rng(3);
+    std::vector<cluster::Point> points;
+    for (int i = 0; i < 400; ++i) {
+        cluster::Point p(6);
+        for (auto &x : p)
+            x = rng.uniform(0.0, 4.0);
+        points.push_back(std::move(p));
+    }
+    cluster::KMeansConfig config;
+    config.k = 7;
+    config.restarts = 4;
+    config.seed = 19;
+
+    cluster::KMeansResult serial, parallel;
+    {
+        ScopedThreads guard(1);
+        serial = cluster::kMeans(points, config);
+    }
+    {
+        ScopedThreads guard(4);
+        parallel = cluster::kMeans(points, config);
+    }
+    EXPECT_EQ(serial.assignment, parallel.assignment);
+    EXPECT_EQ(serial.centroids, parallel.centroids);
+    EXPECT_DOUBLE_EQ(serial.inertia, parallel.inertia);
+    EXPECT_EQ(serial.iterations, parallel.iterations);
+}
+
+TEST(ParallelDeterminism, PlacementIdenticalAcrossThreadsAndScoringImpl)
+{
+    const auto dc = smallDc(16);
+    const auto traces = dc.trainingTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    power::PowerTree tree(dc.spec().topology);
+
+    core::PlacementConfig fused;
+    core::PlacementConfig reference;
+    reference.scoring = core::ScoringImpl::kReference;
+
+    power::Assignment serial, parallel, ref;
+    {
+        ScopedThreads guard(1);
+        serial = core::PlacementEngine(tree, fused)
+                     .place(traces, service_of);
+    }
+    {
+        ScopedThreads guard(4);
+        parallel = core::PlacementEngine(tree, fused)
+                       .place(traces, service_of);
+        ref = core::PlacementEngine(tree, reference)
+                  .place(traces, service_of);
+    }
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(serial, ref);
+}
+
+TEST(ParallelDeterminism, RemapSwapsIdenticalAcrossThreadCounts)
+{
+    const auto dc = smallDc(16);
+    const auto traces = dc.trainingTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    power::PowerTree tree(dc.spec().topology);
+    const auto start = baseline::obliviousPlacement(tree, service_of);
+
+    auto run = [&](std::size_t threads) {
+        ScopedThreads guard(threads);
+        power::Assignment assignment = start;
+        core::Remapper remapper(tree);
+        const auto swaps = remapper.refine(assignment, traces);
+        return std::make_pair(assignment, swaps.size());
+    };
+    const auto [serial_assign, serial_swaps] = run(1);
+    const auto [parallel_assign, parallel_swaps] = run(4);
+    EXPECT_EQ(serial_assign, parallel_assign);
+    EXPECT_EQ(serial_swaps, parallel_swaps);
+}
+
+} // namespace

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Machine-readable perf regression report for the hot scoring paths.
+ *
+ * Runs the A/B pairs that bench/perf_micro sweeps interactively —
+ * materializing reference vs fused kernels, serial vs pooled — and emits
+ * a BENCH_*.json summary so the perf trajectory of the repo is recorded
+ * commit over commit.  Usage:
+ *
+ *   bench_report [--out BENCH_report.json] [--label some-tag]
+ *                [--threads N] [--repeats R]
+ *
+ * Every measurement is best-of-R wall time, which is robust against
+ * scheduler noise on shared machines.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baseline/oblivious.h"
+#include "core/asynchrony.h"
+#include "core/placement.h"
+#include "core/remap.h"
+#include "core/service_traces.h"
+#include "power/power_tree.h"
+#include "util/parallel.h"
+#include "workload/catalog.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim;
+
+workload::GeneratedDatacenter
+makeDc(int instances_per_service)
+{
+    workload::DatacenterSpec spec;
+    spec.name = "bench_report";
+    spec.topology.suites = 2;
+    spec.topology.msbsPerSuite = 2;
+    spec.topology.sbsPerMsb = 2;
+    spec.topology.rppsPerSb = 2;
+    spec.topology.racksPerRpp = 2;
+    // Paper-scale traces: fine-grained power samples (the production
+    // meters the paper draws on report at minute granularity).  Scoring
+    // cost grows with trace length while k-means does not, so coarse
+    // traces would understate the kernel layer's share.
+    spec.intervalMinutes = 5;
+    spec.weeks = 2;
+    spec.seed = 33;
+    spec.services.push_back(
+        {workload::webFrontend(), instances_per_service});
+    spec.services.push_back(
+        {workload::dbBackend(), instances_per_service});
+    spec.services.push_back({workload::hadoop(), instances_per_service});
+    return workload::generate(spec);
+}
+
+/** Best-of-repeats wall time of fn(), in milliseconds. */
+template <typename Fn>
+double
+bestMs(int repeats, Fn &&fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        best = std::min(best, ms);
+    }
+    return best;
+}
+
+struct Measurement {
+    std::string name;
+    int population = 0;
+    std::size_t samples = 0;
+    // referenceMs < 0 means "no materializing baseline exists for this
+    // path" (e.g. remap, which was rewritten in place); the JSON row
+    // then carries null instead of a bogus 0 ms / 0x speedup.
+    double referenceMs = -1.0;
+    double fusedMs = 0.0;
+    double pooledMs = 0.0;
+};
+
+void
+writeJson(std::ostream &os, const std::vector<Measurement> &rows,
+          const std::string &label, std::size_t pool_threads, int repeats)
+{
+    const std::time_t now = std::time(nullptr);
+    char stamp[32] = "unknown";
+    if (const std::tm *tm = std::gmtime(&now))
+        std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", tm);
+
+    os << "{\n";
+    os << "  \"label\": \"" << label << "\",\n";
+    os << "  \"timestamp_utc\": \"" << stamp << "\",\n";
+    os << "  \"pool_threads\": " << pool_threads << ",\n";
+    os << "  \"repeats\": " << repeats << ",\n";
+    os << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &m = rows[i];
+        const bool has_ref = m.referenceMs >= 0.0;
+        os << "    {\"name\": \"" << m.name << "\", "
+           << "\"population\": " << m.population << ", "
+           << "\"samples_per_trace\": " << m.samples << ", "
+           << "\"reference_ms\": ";
+        if (has_ref)
+            os << m.referenceMs;
+        else
+            os << "null";
+        os << ", \"fused_ms\": " << m.fusedMs << ", "
+           << "\"pooled_ms\": " << m.pooledMs << ", "
+           << "\"speedup_fused\": ";
+        if (has_ref && m.fusedMs > 0.0)
+            os << m.referenceMs / m.fusedMs;
+        else
+            os << "null";
+        os << ", \"speedup_pooled\": ";
+        if (has_ref && m.pooledMs > 0.0)
+            os << m.referenceMs / m.pooledMs;
+        else
+            os << "null";
+        os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_report.json";
+    std::string label = "dev";
+    std::size_t pool_threads = util::threadCount();
+    int repeats = 5;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_report: " << flag
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--out")
+            out = next("--out");
+        else if (arg == "--label")
+            label = next("--label");
+        else if (arg == "--threads")
+            pool_threads = std::stoul(next("--threads"));
+        else if (arg == "--repeats")
+            repeats = std::stoi(next("--repeats"));
+        else {
+            std::cerr << "usage: bench_report [--out FILE] [--label TAG] "
+                         "[--threads N] [--repeats R]\n";
+            return 2;
+        }
+    }
+
+    std::vector<Measurement> rows;
+    for (const int per_service : {16, 64, 128}) {
+        const auto dc = makeDc(per_service);
+        const auto traces = dc.trainingTraces();
+        std::vector<std::size_t> service_of(dc.instanceCount());
+        for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+            service_of[i] = dc.serviceOf(i);
+        const auto straces =
+            core::extractServiceTraces(traces, service_of, 3);
+        power::PowerTree tree(dc.spec().topology);
+        const int population = static_cast<int>(traces.size());
+        const std::size_t samples = traces.front().size();
+        std::cerr << "bench_report: population " << population << " ("
+                  << samples << " samples/trace)\n";
+
+        Measurement sv{"scoreVectors", population, samples};
+        sv.referenceMs = bestMs(repeats, [&] {
+            core::reference::scoreVectors(traces, straces.straces);
+        });
+        util::setThreadCount(1);
+        sv.fusedMs = bestMs(repeats, [&] {
+            core::scoreVectors(traces, straces.straces);
+        });
+        util::setThreadCount(pool_threads);
+        sv.pooledMs = bestMs(repeats, [&] {
+            core::scoreVectors(traces, straces.straces);
+        });
+        rows.push_back(sv);
+
+        Measurement pl{"placementEndToEnd", population, samples};
+        core::PlacementConfig ref_config;
+        ref_config.scoring = core::ScoringImpl::kReference;
+        util::setThreadCount(1);
+        pl.referenceMs = bestMs(repeats, [&] {
+            core::PlacementEngine(tree, ref_config)
+                .place(traces, service_of);
+        });
+        pl.fusedMs = bestMs(repeats, [&] {
+            core::PlacementEngine(tree, {}).place(traces, service_of);
+        });
+        util::setThreadCount(pool_threads);
+        pl.pooledMs = bestMs(repeats, [&] {
+            core::PlacementEngine(tree, {}).place(traces, service_of);
+        });
+        rows.push_back(pl);
+
+        Measurement rm{"remapRefine", population, samples};
+        const auto start = baseline::obliviousPlacement(tree, service_of);
+        core::RemapConfig rc;
+        rc.maxSwaps = 16;
+        core::Remapper remapper(tree, rc);
+        util::setThreadCount(1);
+        rm.fusedMs = bestMs(repeats, [&] {
+            power::Assignment assignment = start;
+            remapper.refine(assignment, traces);
+        });
+        util::setThreadCount(pool_threads);
+        rm.pooledMs = bestMs(repeats, [&] {
+            power::Assignment assignment = start;
+            remapper.refine(assignment, traces);
+        });
+        rows.push_back(rm);
+    }
+    util::setThreadCount(0);
+
+    std::ofstream file(out);
+    if (!file) {
+        std::cerr << "bench_report: cannot open " << out
+                  << " for writing\n";
+        return 1;
+    }
+    writeJson(file, rows, label, pool_threads, repeats);
+    writeJson(std::cout, rows, label, pool_threads, repeats);
+    return 0;
+}
