@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -83,8 +84,12 @@ lloyd(const std::vector<Point> &points, std::vector<Point> centroids,
     result.assignment.assign(n, 0);
     std::vector<double> best_dist(n);
     double prev_inertia = std::numeric_limits<double>::max();
+#if SOSIM_OBS_ENABLED
+    std::vector<std::size_t> prev_assignment(n, k); // k = "unassigned".
+#endif
 
     for (int iter = 0; iter < config.maxIterations; ++iter) {
+        SOSIM_COUNT("cluster.kmeans.iterations");
         // Assignment step: each point is independent, so fan the
         // distance loops out; inertia is reduced serially below, in
         // index order, keeping the sum identical for any thread count.
@@ -109,6 +114,15 @@ lloyd(const std::vector<Point> &points, std::vector<Point> centroids,
         double inertia = 0.0;
         for (std::size_t i = 0; i < n; ++i)
             inertia += best_dist[i];
+#if SOSIM_OBS_ENABLED
+        {
+            std::size_t moved = 0;
+            for (std::size_t i = 0; i < n; ++i)
+                moved += prev_assignment[i] != result.assignment[i];
+            SOSIM_COUNT_ADD("cluster.kmeans.reassignments", moved);
+            prev_assignment = result.assignment;
+        }
+#endif
 
         // Update step.
         std::vector<Point> sums(k, Point(dim, 0.0));
@@ -145,6 +159,8 @@ lloyd(const std::vector<Point> &points, std::vector<Point> centroids,
 KMeansResult
 kMeans(const std::vector<Point> &points, const KMeansConfig &config)
 {
+    SOSIM_SPAN("cluster.kmeans");
+    SOSIM_COUNT("cluster.kmeans.runs");
     SOSIM_REQUIRE(!points.empty(), "kMeans: need at least one point");
     SOSIM_REQUIRE(config.k >= 1, "kMeans: k must be >= 1");
     SOSIM_REQUIRE(config.k <= points.size(),
@@ -167,6 +183,10 @@ kMeans(const std::vector<Point> &points, const KMeansConfig &config)
 
     std::vector<KMeansResult> runs(seeds.size());
     util::parallelFor(seeds.size(), [&](std::size_t r) {
+        // Nested under cluster.kmeans even from pool workers (the
+        // submitting span is adopted inside every chunk).
+        SOSIM_SPAN("cluster.kmeans.restart");
+        SOSIM_COUNT("cluster.kmeans.restarts");
         util::Rng restart_rng(seeds[r]);
         auto seeded = seedPlusPlus(points, config.k, restart_rng);
         runs[r] = lloyd(points, std::move(seeded), config);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "trace/kernels.h"
 #include "util/error.h"
 #include "util/parallel.h"
@@ -65,6 +66,8 @@ std::vector<cluster::Point>
 scoreVectors(const std::vector<trace::TimeSeries> &itraces,
              const std::vector<trace::TimeSeries> &straces)
 {
+    SOSIM_SPAN("scoring.score_vectors");
+    SOSIM_COUNT_ADD("scoring.rows", itraces.size());
     SOSIM_REQUIRE(!straces.empty(), "scoreVectors: need S-traces");
     // Warm the shared stats caches serially: the row workers only read
     // them (see the threading note on TimeSeries::stats()).

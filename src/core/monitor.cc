@@ -1,7 +1,9 @@
 #include "monitor.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace sosim::core {
@@ -40,6 +42,8 @@ FragmentationMonitor::observeWeek(
     const std::vector<trace::TimeSeries> &itraces,
     const power::Assignment &assignment)
 {
+    SOSIM_SPAN("monitor.observe_week");
+    const auto t0 = std::chrono::steady_clock::now();
     const auto node_traces = tree_.aggregateTraces(itraces, assignment);
 
     MonitorObservation obs;
@@ -68,6 +72,22 @@ FragmentationMonitor::observeWeek(
     window_.push_back(obs.fragmentationRatio);
     while (window_.size() > config_.baselineWindowWeeks)
         window_.pop_front();
+
+    obs.evalSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    SOSIM_COUNT("monitor.observations");
+#if SOSIM_OBS_ENABLED
+    // Dynamic name — the macro's static-reference cache would pin the
+    // first action seen, so go through the registry directly.
+    sosim::obs::registry()
+        .counter("monitor.action." + monitorActionName(obs.action))
+        .inc();
+#endif
+    SOSIM_GAUGE_SET("monitor.sum_of_peaks", obs.sumOfPeaks);
+    SOSIM_GAUGE_SET("monitor.root_peak", obs.rootPeak);
+    SOSIM_GAUGE_SET("monitor.fragmentation_ratio", obs.fragmentationRatio);
+    SOSIM_OBSERVE("monitor.observe_seconds", obs.evalSeconds);
 
     history_.push_back(obs);
     return obs;

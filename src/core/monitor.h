@@ -54,6 +54,12 @@ struct MonitorObservation {
      */
     double fragmentationRatio = 0.0;
     MonitorAction action = MonitorAction::None;
+    /**
+     * Wall-clock seconds observeWeek() spent evaluating this week
+     * (aggregation + peak scans).  Also recorded into the
+     * "monitor.observe_seconds" histogram.
+     */
+    double evalSeconds = 0.0;
 };
 
 /** Monitor configuration. */

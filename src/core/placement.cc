@@ -4,6 +4,7 @@
 
 #include "core/asynchrony.h"
 #include "core/service_traces.h"
+#include "obs/obs.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -37,6 +38,7 @@ power::Assignment
 PlacementEngine::place(const std::vector<trace::TimeSeries> &itraces,
                        const std::vector<std::size_t> &service_of) const
 {
+    SOSIM_SPAN("placement.place");
     SOSIM_REQUIRE(!itraces.empty(), "PlacementEngine::place: no instances");
     SOSIM_REQUIRE(service_of.size() == itraces.size(),
                   "PlacementEngine::place: service_of size mismatch");
@@ -64,6 +66,7 @@ PlacementEngine::placeSubtree(const std::vector<trace::TimeSeries> &itraces,
                               power::Assignment &assignment,
                               power::NodeId subtree) const
 {
+    SOSIM_SPAN("placement.place_subtree");
     SOSIM_REQUIRE(assignment.size() == itraces.size(),
                   "placeSubtree: assignment size mismatch");
     SOSIM_REQUIRE(service_of.size() == itraces.size(),
@@ -112,13 +115,21 @@ PlacementEngine::distribute(const std::vector<cluster::Point> &vectors,
                             std::uint64_t seed) const
 {
     const auto &n = tree_.node(node);
+    SOSIM_COUNT("placement.nodes_visited");
     if (n.level == power::Level::Rack) {
+        SOSIM_COUNT_ADD("placement.instances_assigned", ids.size());
         for (const auto i : ids)
             assignment[i] = node;
         return;
     }
+#if SOSIM_OBS_ENABLED
+    // One span per tree level, so the recursion reads as
+    // placement.DC > placement.SUITE > ... in the trace tree.
+    obs::ScopedSpan level_span("placement." + power::levelName(n.level));
+#endif
     const std::size_t q = n.children.size();
     SOSIM_ASSERT(q >= 1, "distribute: interior node without children");
+    SOSIM_OBSERVE("placement.fanout", q);
 
     std::vector<std::vector<std::size_t>> per_child(q);
 

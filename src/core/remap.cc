@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/asynchrony.h"
+#include "obs/obs.h"
 #include "trace/kernels.h"
 #include "util/error.h"
 #include "util/parallel.h"
@@ -101,6 +102,7 @@ std::vector<SwapRecord>
 Remapper::refine(power::Assignment &assignment,
                  const std::vector<trace::TimeSeries> &itraces) const
 {
+    SOSIM_SPAN("remap.refine");
     SOSIM_REQUIRE(assignment.size() == itraces.size(),
                   "Remapper::refine: size mismatch");
 
@@ -133,6 +135,8 @@ Remapper::refine(power::Assignment &assignment,
     std::vector<SwapRecord> swaps;
     std::vector<power::NodeId> tried;
     while (static_cast<int>(swaps.size()) < config_.maxSwaps) {
+        SOSIM_SPAN("remap.round");
+        SOSIM_COUNT("remap.rounds");
         // 1. Most fragmented rack not yet exhausted this pass.
         power::NodeId worst_rack = power::kNoNode;
         double worst_score = std::numeric_limits<double>::max();
@@ -174,6 +178,7 @@ Remapper::refine(power::Assignment &assignment,
         // serially in the exact order of the equivalent nested loop so
         // ties resolve identically for any thread count.
         const std::size_t tasks = candidates * rack_ids.size();
+        SOSIM_COUNT_ADD("remap.pairs_evaluated", tasks);
         std::vector<LocalBest> local(tasks);
         util::parallelFor(tasks, [&](std::size_t task) {
             const std::size_t c = task / rack_ids.size();
@@ -238,6 +243,10 @@ Remapper::refine(power::Assignment &assignment,
 
         if (best_gain > 0.0) {
             // Apply the swap and update both racks' state incrementally.
+            SOSIM_COUNT("remap.swaps_accepted");
+            // Four series subtractions/additions plus two peak-sum
+            // adjustments per accepted swap.
+            SOSIM_COUNT_ADD("remap.aggregate_updates", 4);
             auto &rack_b = racks[best.rackB];
             auto it_a = std::find(rack_a.members.begin(),
                                   rack_a.members.end(), best.instanceA);

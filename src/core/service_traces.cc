@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace sosim::core {
@@ -29,6 +30,7 @@ extractServiceTraces(const std::vector<trace::TimeSeries> &itraces,
                      const std::vector<std::size_t> &service_of,
                      std::size_t top_m)
 {
+    SOSIM_SPAN("scoring.extract_straces");
     SOSIM_REQUIRE(!itraces.empty(), "extractServiceTraces: need instances");
     SOSIM_REQUIRE(service_of.size() == itraces.size(),
                   "extractServiceTraces: service_of must cover instances");

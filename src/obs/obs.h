@@ -1,0 +1,87 @@
+#ifndef SOSIM_OBS_OBS_H
+#define SOSIM_OBS_OBS_H
+
+/**
+ * @file
+ * Instrumentation macros — the only way library code should emit
+ * telemetry.
+ *
+ * With the default build (CMake option SOSIM_OBS=ON) each macro caches a
+ * `static` reference to its metric on first execution and thereafter
+ * costs one relaxed atomic RMW (counters/histograms/gauges) or one
+ * clock read + node push (spans).  With SOSIM_OBS=OFF the build defines
+ * SOSIM_OBS_DISABLED and every macro expands to a no-op that does not
+ * even evaluate its arguments — the disabled-mode overhead guarantee.
+ *
+ * Naming convention: dot-separated lowercase paths,
+ * "<subsystem>.<object>.<event>" — e.g. "trace.stats_cache.hit",
+ * "pool.chunks_run", "monitor.fragmentation_ratio".  Exporters derive
+ * Prometheus names from these (dots become underscores).
+ */
+
+#if defined(SOSIM_OBS_DISABLED)
+#define SOSIM_OBS_ENABLED 0
+#else
+#define SOSIM_OBS_ENABLED 1
+#endif
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+#define SOSIM_OBS_CONCAT_IMPL(a, b) a##b
+#define SOSIM_OBS_CONCAT(a, b) SOSIM_OBS_CONCAT_IMPL(a, b)
+
+#if SOSIM_OBS_ENABLED
+
+/** Open a RAII span for the rest of the enclosing scope. */
+#define SOSIM_SPAN(name)                                                    \
+    ::sosim::obs::ScopedSpan SOSIM_OBS_CONCAT(sosim_span_, __LINE__)(name)
+
+/** Add `delta` to the counter `name` (name must be a constant). */
+#define SOSIM_COUNT_ADD(name, delta)                                        \
+    do {                                                                    \
+        static ::sosim::obs::Counter &sosim_obs_c =                         \
+            ::sosim::obs::registry().counter(name);                         \
+        sosim_obs_c.add(static_cast<std::uint64_t>(delta));                 \
+    } while (0)
+
+/** Increment the counter `name` by one. */
+#define SOSIM_COUNT(name) SOSIM_COUNT_ADD(name, 1)
+
+/** Set the gauge `name` to `value`. */
+#define SOSIM_GAUGE_SET(name, value)                                        \
+    do {                                                                    \
+        static ::sosim::obs::Gauge &sosim_obs_g =                           \
+            ::sosim::obs::registry().gauge(name);                           \
+        sosim_obs_g.set(static_cast<double>(value));                        \
+    } while (0)
+
+/** Record `value` into the histogram `name`. */
+#define SOSIM_OBSERVE(name, value)                                          \
+    do {                                                                    \
+        static ::sosim::obs::Histogram &sosim_obs_h =                       \
+            ::sosim::obs::registry().histogram(name);                       \
+        sosim_obs_h.observe(static_cast<double>(value));                    \
+    } while (0)
+
+#else // !SOSIM_OBS_ENABLED
+
+#define SOSIM_SPAN(name)                                                    \
+    do {                                                                    \
+    } while (0)
+#define SOSIM_COUNT_ADD(name, delta)                                        \
+    do {                                                                    \
+    } while (0)
+#define SOSIM_COUNT(name)                                                   \
+    do {                                                                    \
+    } while (0)
+#define SOSIM_GAUGE_SET(name, value)                                        \
+    do {                                                                    \
+    } while (0)
+#define SOSIM_OBSERVE(name, value)                                          \
+    do {                                                                    \
+    } while (0)
+
+#endif // SOSIM_OBS_ENABLED
+
+#endif // SOSIM_OBS_OBS_H

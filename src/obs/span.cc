@@ -1,0 +1,56 @@
+#include "span.h"
+
+namespace sosim::obs {
+
+namespace {
+
+/** Per-thread cursor: the span the next ScopedSpan nests under. */
+thread_local SpanNode *t_current = nullptr;
+
+} // namespace
+
+SpanTracer &
+SpanTracer::instance()
+{
+    // Leaked for the same reason as the metrics registry: worker threads
+    // and function-local statics may outlive any destruction order we
+    // could pick.
+    static SpanTracer *tracer = new SpanTracer();
+    return *tracer;
+}
+
+SpanNode *
+SpanTracer::childOf(SpanNode *parent, const std::string &name)
+{
+    SpanNode *p = parent ? parent : &root_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = p->children[name];
+    if (!slot)
+        slot = std::make_unique<SpanNode>(name, p);
+    return slot.get();
+}
+
+SpanNode *
+SpanTracer::current() const
+{
+    return t_current;
+}
+
+SpanNode *
+SpanTracer::setCurrent(SpanNode *node)
+{
+    SpanNode *prev = t_current;
+    t_current = node;
+    return prev;
+}
+
+void
+SpanTracer::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    root_.children.clear();
+    root_.invocations.store(0, std::memory_order_relaxed);
+    root_.totalNanos.store(0, std::memory_order_relaxed);
+}
+
+} // namespace sosim::obs

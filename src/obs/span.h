@@ -1,0 +1,173 @@
+#ifndef SOSIM_OBS_SPAN_H
+#define SOSIM_OBS_SPAN_H
+
+/**
+ * @file
+ * Scoped span tracing: a process-wide tree of named pipeline stages with
+ * per-node invocation counts and accumulated busy time.
+ *
+ * A span is opened with the RAII `SOSIM_SPAN("stage.name")` macro
+ * (obs/obs.h) and becomes a child of the thread's current span; nesting
+ * follows the dynamic call structure, so the tree reads like a sampled
+ * call graph of the pipeline (placement -> kmeans -> ...).
+ *
+ * Thread-pool propagation: util::parallelFor captures the submitting
+ * thread's current span and adopts it inside every worker chunk (see
+ * ScopedSpanAdopt), so spans opened on worker threads attach under the
+ * span that submitted the work rather than under detached per-thread
+ * roots.  Because several workers can be inside the same node at once,
+ * a node's busy time is *aggregate thread time*, which can exceed wall
+ * time — that is the signal (parallel speedup shows up as busy/wall).
+ *
+ * Concurrency: node lookup/creation takes one tracer mutex (spans are
+ * stage-grained, entered at most a few thousand times per run); the
+ * per-node accumulation on exit is relaxed atomics only.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace sosim::obs {
+
+/** One node of the span tree.  Never destroyed while the process runs. */
+struct SpanNode {
+    SpanNode(std::string n, const SpanNode *p) : name(std::move(n)), parent(p)
+    {}
+
+    std::string name;
+    const SpanNode *parent = nullptr;
+    /** Times this span was entered. */
+    std::atomic<std::uint64_t> invocations{0};
+    /** Accumulated busy nanoseconds (sums across concurrent threads). */
+    std::atomic<std::uint64_t> totalNanos{0};
+    /** Children keyed by name (sorted — exporters iterate in order). */
+    std::map<std::string, std::unique_ptr<SpanNode>> children;
+};
+
+/**
+ * The process-wide span tree plus the per-thread "current span" cursor.
+ */
+class SpanTracer
+{
+  public:
+    /** The process-wide tracer. */
+    static SpanTracer &instance();
+
+    /** Runtime kill switch (one relaxed load on the span fast path). */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /**
+     * Find or create `name` under `parent` (nullptr = tree root).
+     * Mutex-protected; the returned node lives for the process.
+     */
+    SpanNode *childOf(SpanNode *parent, const std::string &name);
+
+    /** The calling thread's current span (nullptr = at the root). */
+    SpanNode *current() const;
+
+    /** Replace the calling thread's current span; returns the old one. */
+    SpanNode *setCurrent(SpanNode *node);
+
+    /** The synthetic root; its children are the top-level stages. */
+    const SpanNode &root() const { return root_; }
+
+    /**
+     * Drop every recorded span (for tests / fresh scrapes).  Callers
+     * must have quiesced: no ScopedSpan may be live anywhere.
+     */
+    void reset();
+
+  private:
+    SpanTracer() = default;
+
+    mutable std::mutex mutex_;
+    SpanNode root_{"root", nullptr};
+    std::atomic<bool> enabled_{true};
+};
+
+/** The calling thread's current span (macro-friendly free function). */
+inline SpanNode *
+currentSpan()
+{
+    return SpanTracer::instance().current();
+}
+
+/**
+ * RAII span: on construction becomes the thread's current span (as a
+ * child of the previous current span); on destruction accumulates
+ * elapsed wall time into the node and restores the previous span.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const std::string &name)
+    {
+        SpanTracer &tracer = SpanTracer::instance();
+        if (!tracer.enabled())
+            return;
+        node_ = tracer.childOf(tracer.current(), name);
+        prev_ = tracer.setCurrent(node_);
+        start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedSpan()
+    {
+        if (!node_)
+            return;
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        node_->invocations.fetch_add(1, std::memory_order_relaxed);
+        node_->totalNanos.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    elapsed)
+                    .count()),
+            std::memory_order_relaxed);
+        SpanTracer::instance().setCurrent(prev_);
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    SpanNode *node_ = nullptr;
+    SpanNode *prev_ = nullptr;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+/**
+ * Adopt another thread's span as this thread's current span for a
+ * scope.  util::parallelFor wraps every worker chunk in one of these,
+ * passing the submitting thread's current span, which is what attaches
+ * worker-side spans under the submitting stage.
+ */
+class ScopedSpanAdopt
+{
+  public:
+    explicit ScopedSpanAdopt(SpanNode *submitter)
+        : prev_(SpanTracer::instance().setCurrent(submitter))
+    {}
+
+    ~ScopedSpanAdopt() { SpanTracer::instance().setCurrent(prev_); }
+
+    ScopedSpanAdopt(const ScopedSpanAdopt &) = delete;
+    ScopedSpanAdopt &operator=(const ScopedSpanAdopt &) = delete;
+
+  private:
+    SpanNode *prev_ = nullptr;
+};
+
+} // namespace sosim::obs
+
+#endif // SOSIM_OBS_SPAN_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace sosim::sim {
@@ -41,10 +42,13 @@ ConversionPolicy::step(double original_lc_load)
     const double leave =
         lConv_ * (1.0 - config_.enterMargin - config_.hysteresisWidth);
 
-    if (target_ == Phase::BatchHeavy && original_lc_load >= enter)
+    if (target_ == Phase::BatchHeavy && original_lc_load >= enter) {
         target_ = Phase::LcHeavy;
-    else if (target_ == Phase::LcHeavy && original_lc_load < leave)
+        SOSIM_COUNT("sim.conversion.role_flips");
+    } else if (target_ == Phase::LcHeavy && original_lc_load < leave) {
         target_ = Phase::BatchHeavy;
+        SOSIM_COUNT("sim.conversion.role_flips");
+    }
 
     // Conversions complete over conversionDelaySteps steps.
     const double rate =

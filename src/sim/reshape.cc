@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace sosim::sim {
@@ -48,6 +49,7 @@ ReshapeSimulator::ReshapeSimulator(ReshapeInputs inputs,
 ReshapeResult
 ReshapeSimulator::run() const
 {
+    SOSIM_SPAN("sim.reshape.run");
     const std::size_t n = inputs_.testLoad.size();
     const int interval = inputs_.testLoad.intervalMinutes();
     const double n_lc = static_cast<double>(inputs_.lcServers);
@@ -145,6 +147,8 @@ ReshapeSimulator::run() const
         power_post(n);
     std::size_t lc_heavy_steps = 0;
     std::size_t qos_violations = 0;
+    std::size_t throttle_steps = 0;
+    std::size_t boost_steps = 0;
 
     for (std::size_t t = 0; t < n; ++t) {
         const double demand = n_lc * inputs_.testLoad[t] * (1.0 + growth);
@@ -177,6 +181,7 @@ ReshapeSimulator::run() const
         if (throttle_boost && inputs_.batchServers > 0) {
             if (phase == Phase::LcHeavy) {
                 f = config_.throttleFrequency;
+                ++throttle_steps;
             } else {
                 // Boost up to the budget: spend the instantaneous slack
                 // on raising Batch frequency.
@@ -193,6 +198,8 @@ ReshapeSimulator::run() const
                     f = std::min(config_.boostMaxFrequency,
                                  inputs_.batchDvfs.frequencyForPower(
                                      per_server));
+                    if (f > 1.0)
+                        ++boost_steps;
                 }
             }
         }
@@ -215,6 +222,9 @@ ReshapeSimulator::run() const
         static_cast<double>(lc_heavy_steps) / static_cast<double>(n);
     result.qosViolationFraction =
         static_cast<double>(qos_violations) / static_cast<double>(n);
+    SOSIM_COUNT_ADD("sim.reshape.throttle_steps", throttle_steps);
+    SOSIM_COUNT_ADD("sim.reshape.boost_steps", boost_steps);
+    SOSIM_COUNT_ADD("sim.reshape.qos_violations", qos_violations);
 
     // ---- Summary metrics ----------------------------------------------
     const double lc_pre_total = result.lcThroughputPre.sum();

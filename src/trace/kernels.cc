@@ -1,5 +1,6 @@
 #include "kernels.h"
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace sosim::trace {
@@ -48,6 +49,7 @@ computeStats(TraceView v)
 double
 peakOfSum(TraceView a, TraceView b)
 {
+    SOSIM_COUNT("trace.kernels.peak_of_sum");
     requireAligned(a, b, "peakOfSum: views must be aligned and non-empty");
     double best = a[0] + b[0];
     for (std::size_t i = 1; i < a.size(); ++i) {
@@ -61,6 +63,7 @@ peakOfSum(TraceView a, TraceView b)
 double
 peakOfScaledSum(TraceView a, TraceView b, double scale)
 {
+    SOSIM_COUNT("trace.kernels.peak_of_scaled_sum");
     requireAligned(a, b,
                    "peakOfScaledSum: views must be aligned and non-empty");
     // Two rounding steps per element (multiply, then add), exactly like
@@ -77,6 +80,7 @@ peakOfScaledSum(TraceView a, TraceView b, double scale)
 double
 peakOfDiff(TraceView a, TraceView b)
 {
+    SOSIM_COUNT("trace.kernels.peak_of_diff");
     requireAligned(a, b, "peakOfDiff: views must be aligned and non-empty");
     double best = a[0] - b[0];
     for (std::size_t i = 1; i < a.size(); ++i) {
@@ -90,6 +94,7 @@ peakOfDiff(TraceView a, TraceView b)
 double
 peakOfAddScaledDiff(TraceView c, TraceView a, TraceView b, double scale)
 {
+    SOSIM_COUNT("trace.kernels.peak_of_add_scaled_diff");
     requireAligned(c, a,
                    "peakOfAddScaledDiff: views must be aligned, non-empty");
     requireAligned(c, b,
@@ -106,6 +111,7 @@ peakOfAddScaledDiff(TraceView c, TraceView a, TraceView b, double scale)
 double
 accumulatePeak(TimeSeries &dst, TraceView src)
 {
+    SOSIM_COUNT("trace.kernels.accumulate_peak");
     SOSIM_REQUIRE(!dst.empty(),
                   "accumulatePeak: destination must be non-empty");
     SOSIM_REQUIRE(TraceView(dst).alignedWith(src),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "trace/kernels.h"
 #include "util/error.h"
 
@@ -47,8 +48,11 @@ TimeSeries::stats() const
 {
     SOSIM_REQUIRE(!empty(), "TimeSeries::stats: series is empty");
     if (!statsValid_) {
+        SOSIM_COUNT("trace.stats_cache.miss");
         stats_ = computeStats(TraceView(*this));
         statsValid_ = true;
+    } else {
+        SOSIM_COUNT("trace.stats_cache.hit");
     }
     return stats_;
 }

@@ -1,6 +1,7 @@
 #include "parallel.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -9,6 +10,8 @@
 #include <algorithm>
 #include <thread>
 #include <vector>
+
+#include "obs/obs.h"
 
 namespace sosim::util {
 
@@ -36,6 +39,15 @@ resolveThreadCount()
     return hw > 0 ? hw : 1;
 }
 
+#if SOSIM_OBS_ENABLED
+/** Per-lane busy-time counter ("pool.worker.N.busy_nanos" / caller). */
+obs::Counter &
+laneBusyCounter(const std::string &lane)
+{
+    return obs::registry().counter("pool.worker." + lane + ".busy_nanos");
+}
+#endif
+
 /**
  * A minimal fixed-size pool executing one chunked loop at a time.  The
  * caller thread participates as chunk 0's worker, so a pool of size k
@@ -48,7 +60,7 @@ class ThreadPool
     {
         threads_.reserve(workers);
         for (std::size_t t = 0; t < workers; ++t)
-            threads_.emplace_back([this] { workerLoop(); });
+            threads_.emplace_back([this, t] { workerLoop(t); });
     }
 
     ~ThreadPool()
@@ -72,6 +84,8 @@ class ThreadPool
     void
     run(std::size_t chunks, const std::function<void(std::size_t)> &chunkFn)
     {
+        SOSIM_COUNT("pool.jobs");
+        SOSIM_COUNT_ADD("pool.chunks_run", chunks);
         std::unique_lock<std::mutex> lock(mutex_);
         busy_.wait(lock, [this] { return !jobActive_; });
         jobActive_ = true;
@@ -97,6 +111,9 @@ class ThreadPool
     void
     helpOut()
     {
+#if SOSIM_OBS_ENABLED
+        static obs::Counter &busy = laneBusyCounter("caller");
+#endif
         const bool was = t_inWorker;
         t_inWorker = true;
         for (;;) {
@@ -107,14 +124,28 @@ class ThreadPool
                     break;
                 chunk = nextChunk_++;
             }
+#if SOSIM_OBS_ENABLED
+            const auto t0 = std::chrono::steady_clock::now();
             runChunk(chunk);
+            busy.add(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+#else
+            runChunk(chunk);
+#endif
         }
         t_inWorker = was;
     }
 
     void
-    workerLoop()
+    workerLoop(std::size_t worker)
     {
+#if SOSIM_OBS_ENABLED
+        obs::Counter &busy = laneBusyCounter(std::to_string(worker));
+#else
+        (void)worker;
+#endif
         t_inWorker = true;
         for (;;) {
             std::size_t chunk;
@@ -128,7 +159,16 @@ class ThreadPool
                     return;
                 chunk = nextChunk_++;
             }
+#if SOSIM_OBS_ENABLED
+            const auto t0 = std::chrono::steady_clock::now();
             runChunk(chunk);
+            busy.add(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+#else
+            runChunk(chunk);
+#endif
         }
     }
 
@@ -189,6 +229,7 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
         return;
     const std::size_t workers = threadCount();
     if (workers <= 1 || n < min_grain || t_inWorker) {
+        SOSIM_COUNT("pool.inline_runs");
         for (std::size_t i = 0; i < n; ++i)
             body(i);
         return;
@@ -198,8 +239,16 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
     // each index is executed exactly once regardless of scheduling.
     const std::size_t lanes = std::min(workers, n);
     std::vector<std::exception_ptr> errors(lanes);
+#if SOSIM_OBS_ENABLED
+    // Spans opened inside worker chunks nest under the stage that
+    // submitted the fan-out, not under detached per-thread roots.
+    obs::SpanNode *submitting_span = obs::currentSpan();
+#endif
     const std::function<void(std::size_t)> chunkFn =
         [&](std::size_t chunk) {
+#if SOSIM_OBS_ENABLED
+            obs::ScopedSpanAdopt adopt(submitting_span);
+#endif
             const std::size_t lo = chunk * n / lanes;
             const std::size_t hi = (chunk + 1) * n / lanes;
             try {
@@ -212,9 +261,20 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
     // The caller is one lane, so only workers-1 background threads needed.
     pool(workers - 1).run(lanes, chunkFn);
 
-    for (const auto &err : errors)
-        if (err)
-            std::rethrow_exception(err);
+    for (std::size_t chunk = 0; chunk < lanes; ++chunk) {
+        if (!errors[chunk])
+            continue;
+        SOSIM_COUNT("pool.worker_exceptions");
+        const std::size_t lo = chunk * n / lanes;
+        const std::size_t hi = (chunk + 1) * n / lanes;
+        try {
+            std::rethrow_exception(errors[chunk]);
+        } catch (const std::exception &e) {
+            throw ParallelForError(lo, hi, e.what());
+        }
+        // Non-std exceptions leave the catch without matching and
+        // propagate as-is — there is no message to wrap.
+    }
 }
 
 } // namespace sosim::util

@@ -24,8 +24,41 @@
 
 #include <cstddef>
 #include <functional>
+#include <stdexcept>
+#include <string>
 
 namespace sosim::util {
+
+/**
+ * Raised when a parallelFor body throws from a pooled worker: wraps the
+ * original exception's message and carries the failing chunk's index
+ * range so the caller can tell *which* slice of the loop died.  Derives
+ * from std::runtime_error, so handlers of the unwrapped exception class
+ * hierarchy keep working.  Every failure also increments the
+ * "pool.worker_exceptions" obs counter.  (The inline path — one thread,
+ * tiny n, or a nested call — rethrows the original exception untouched;
+ * there is no worker to attribute a range to.)
+ */
+class ParallelForError : public std::runtime_error
+{
+  public:
+    ParallelForError(std::size_t begin, std::size_t end,
+                     const std::string &what)
+        : std::runtime_error("parallelFor: body failed in index range [" +
+                             std::to_string(begin) + ", " +
+                             std::to_string(end) + "): " + what),
+          begin_(begin), end_(end)
+    {}
+
+    /** First index of the failing chunk. */
+    std::size_t rangeBegin() const { return begin_; }
+    /** One past the last index of the failing chunk. */
+    std::size_t rangeEnd() const { return end_; }
+
+  private:
+    std::size_t begin_;
+    std::size_t end_;
+};
 
 /**
  * Effective worker count used by parallelFor: the setThreadCount()
@@ -45,7 +78,14 @@ void setThreadCount(std::size_t n);
  * Run body(i) for every i in [0, n), fanned out across the pool in
  * contiguous chunks.  Blocks until every index completed.  Exceptions
  * thrown by the body are captured and the one from the lowest chunk is
- * rethrown after all workers finish (so failure is deterministic too).
+ * reported after all workers finish (so failure is deterministic too):
+ * pooled failures are rethrown as ParallelForError carrying the failing
+ * index range; the inline path rethrows the original exception.
+ *
+ * Observability: pool fan-outs record job/chunk counters and per-lane
+ * busy time under the "pool.*" metrics, and the submitting thread's
+ * current span is adopted inside every worker chunk so SOSIM_SPANs
+ * opened by the body attach under the submitting stage (obs/span.h).
  *
  * @param n         Iteration count.
  * @param body      Callback; must be safe to invoke concurrently for

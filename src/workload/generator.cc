@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -180,6 +181,7 @@ GeneratedDatacenter::serviceActivity(std::size_t s, int week) const
 GeneratedDatacenter
 generate(const DatacenterSpec &spec)
 {
+    SOSIM_SPAN("workload.generate");
     SOSIM_REQUIRE(!spec.services.empty(),
                   "generate: spec must declare at least one service");
     SOSIM_REQUIRE(spec.weeks >= 1, "generate: need at least one week");

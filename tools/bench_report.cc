@@ -8,7 +8,11 @@
  * commit over commit.  Usage:
  *
  *   bench_report [--out BENCH_report.json] [--label some-tag]
- *                [--threads N] [--repeats R]
+ *                [--threads N] [--repeats R] [--metrics-out FILE]
+ *
+ * --metrics-out additionally dumps the obs registry (counters gathered
+ * while benchmarking: kernel invocations, stats-cache hits, pool busy
+ * time) as a metrics JSON document next to the benchmark numbers.
  *
  * Every measurement is best-of-R wall time, which is robust against
  * scheduler noise on shared machines.
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "baseline/oblivious.h"
+#include "obs/export.h"
 #include "core/asynchrony.h"
 #include "core/placement.h"
 #include "core/remap.h"
@@ -141,6 +146,7 @@ int
 main(int argc, char **argv)
 {
     std::string out = "BENCH_report.json";
+    std::string metrics_out;
     std::string label = "dev";
     std::size_t pool_threads = util::threadCount();
     int repeats = 5;
@@ -156,6 +162,8 @@ main(int argc, char **argv)
         };
         if (arg == "--out")
             out = next("--out");
+        else if (arg == "--metrics-out")
+            metrics_out = next("--metrics-out");
         else if (arg == "--label")
             label = next("--label");
         else if (arg == "--threads")
@@ -164,7 +172,8 @@ main(int argc, char **argv)
             repeats = std::stoi(next("--repeats"));
         else {
             std::cerr << "usage: bench_report [--out FILE] [--label TAG] "
-                         "[--threads N] [--repeats R]\n";
+                         "[--threads N] [--repeats R] "
+                         "[--metrics-out FILE]\n";
             return 2;
         }
     }
@@ -242,5 +251,17 @@ main(int argc, char **argv)
     }
     writeJson(file, rows, label, pool_threads, repeats);
     writeJson(std::cout, rows, label, pool_threads, repeats);
+
+    if (!metrics_out.empty()) {
+        std::ofstream mfile(metrics_out);
+        if (!mfile) {
+            std::cerr << "bench_report: cannot open " << metrics_out
+                      << " for writing\n";
+            return 1;
+        }
+        sosim::obs::writeMetricsJson(mfile, "bench_report-" + label);
+        std::cerr << "bench_report: wrote metrics to " << metrics_out
+                  << "\n";
+    }
     return 0;
 }

@@ -12,13 +12,18 @@
  * column names encode the service as "<service>@<index>", which `place`
  * uses to group instances by service.
  *
+ * Observability: every command accepts --trace-tree (print the span
+ * tree after the run) and --metrics-out FILE (dump the metrics registry
+ * and span tree; --metrics-format json|prom selects the encoding).
+ *
  * Examples:
  *   sosim generate --dc 3 --scale 0.25 --out /tmp/dc3.csv
  *   sosim place --traces /tmp/dc3.csv --out /tmp/placement.csv
  *   sosim evaluate --traces /tmp/dc3.csv --assignment /tmp/placement.csv
- *   sosim report --dc 2
+ *   sosim report --dc 2 --trace-tree --metrics-out metrics.json
  */
 
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -26,7 +31,10 @@
 
 #include "baseline/oblivious.h"
 #include "core/headroom.h"
+#include "core/monitor.h"
 #include "core/placement.h"
+#include "core/remap.h"
+#include "obs/export.h"
 #include "power/assignment_io.h"
 #include "trace/io.h"
 #include "util/error.h"
@@ -38,7 +46,8 @@ namespace {
 
 using namespace sosim;
 
-/** Minimal --flag value argument parser. */
+/** Minimal --flag value argument parser (a --flag followed by another
+ *  --flag, or by nothing, is a boolean flag — e.g. --trace-tree). */
 class Args
 {
   public:
@@ -48,9 +57,18 @@ class Args
             std::string key = argv[i];
             SOSIM_REQUIRE(key.rfind("--", 0) == 0,
                           "expected --flag, got '" + key + "'");
-            SOSIM_REQUIRE(i + 1 < argc, "missing value for " + key);
-            values_[key.substr(2)] = argv[++i];
+            if (i + 1 >= argc ||
+                std::string(argv[i + 1]).rfind("--", 0) == 0) {
+                values_[key.substr(2)] = "";
+            } else {
+                values_[key.substr(2)] = argv[++i];
+            }
         }
+    }
+
+    bool has(const std::string &key) const
+    {
+        return values_.find(key) != values_.end();
     }
 
     std::string
@@ -237,7 +255,15 @@ cmdReport(const Args &args)
     power::PowerTree tree(spec.topology);
     const auto oblivious = baseline::obliviousPlacement(tree, service_of);
     core::PlacementEngine engine(tree, {});
-    const auto optimized = engine.place(training, service_of);
+    auto optimized = engine.place(training, service_of);
+
+    // Swap-based refinement on top of the derived placement, then the
+    // comparison is against the refined result (the deployed one).
+    core::RemapConfig remap_config;
+    remap_config.maxSwaps = args.getInt("max-swaps", 16);
+    core::Remapper remapper(tree, remap_config);
+    const auto swaps = remapper.refine(optimized, training);
+
     const auto report =
         core::comparePlacements(tree, test, oblivious, optimized);
 
@@ -250,6 +276,22 @@ cmdReport(const Args &args)
     table.print(std::cout);
     std::cout << "extra servers hostable at RPP: "
               << util::fmtPercent(report.extraServerFraction()) << "\n";
+    std::cout << "remap refinement: " << swaps.size()
+              << " swaps accepted\n";
+
+    // Weekly fragmentation monitoring over every generated week.
+    core::FragmentationMonitor monitor(tree);
+    for (int w = 0; w < spec.weeks; ++w) {
+        std::vector<trace::TimeSeries> week;
+        week.reserve(dc.instanceCount());
+        for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+            week.push_back(dc.weekTrace(i, w));
+        const auto obs = monitor.observeWeek(week, optimized);
+        std::cout << "monitor week " << obs.week << ": ratio "
+                  << util::fmtFixed(obs.fragmentationRatio, 4)
+                  << ", action " << core::monitorActionName(obs.action)
+                  << "\n";
+    }
     return 0;
 }
 
@@ -267,10 +309,43 @@ usage()
         "  evaluate  --traces FILE --assignment FILE [--baseline FILE]\n"
         "            [topology]\n"
         "  report    --dc 1|2|3 [--scale S] [--interval M]\n"
+        "            [--max-swaps N]\n"
         "\n"
         "topology flags: --suites N --msbs N --sbs N --rpps N --racks N\n"
-        "(defaults 4/2/2/4/4 = 256 racks)\n";
+        "(defaults 4/2/2/4/4 = 256 racks)\n"
+        "\n"
+        "observability flags (any command):\n"
+        "  --trace-tree            print the span tree after the run\n"
+        "  --metrics-out FILE      dump metrics + spans to FILE\n"
+        "  --metrics-format F      json (default) or prom\n";
     return 2;
+}
+
+/** Handle --trace-tree / --metrics-out after a successful command. */
+void
+emitObservability(const Args &args, const std::string &command)
+{
+    if (args.has("trace-tree")) {
+        std::cout << "\nspan tree:\n";
+        obs::printSpanTree(std::cout);
+    }
+    const std::string metrics_out = args.get("metrics-out", "");
+    if (!metrics_out.empty()) {
+        std::ofstream out(metrics_out);
+        SOSIM_REQUIRE(out.good(),
+                      "cannot open --metrics-out file " + metrics_out);
+        const std::string format = args.get("metrics-format", "json");
+        if (format == "json") {
+            obs::writeMetricsJson(out, "sosim-" + command);
+        } else if (format == "prom") {
+            obs::writeMetricsPrometheus(out);
+        } else {
+            SOSIM_REQUIRE(false,
+                          "--metrics-format must be json or prom");
+        }
+        std::cout << "wrote metrics (" << format << ") to "
+                  << metrics_out << "\n";
+    }
 }
 
 } // namespace
@@ -283,16 +358,22 @@ main(int argc, char **argv)
     const std::string command = argv[1];
     try {
         Args args(argc, argv, 2);
+        int rc = -1;
         if (command == "generate")
-            return cmdGenerate(args);
-        if (command == "place")
-            return cmdPlace(args);
-        if (command == "evaluate")
-            return cmdEvaluate(args);
-        if (command == "report")
-            return cmdReport(args);
-        std::cerr << "unknown command '" << command << "'\n";
-        return usage();
+            rc = cmdGenerate(args);
+        else if (command == "place")
+            rc = cmdPlace(args);
+        else if (command == "evaluate")
+            rc = cmdEvaluate(args);
+        else if (command == "report")
+            rc = cmdReport(args);
+        if (rc < 0) {
+            std::cerr << "unknown command '" << command << "'\n";
+            return usage();
+        }
+        if (rc == 0)
+            emitObservability(args, command);
+        return rc;
     } catch (const std::exception &e) {
         std::cerr << "sosim " << command << ": " << e.what() << "\n";
         return 1;
