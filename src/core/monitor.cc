@@ -35,6 +35,13 @@ FragmentationMonitor::FragmentationMonitor(const power::PowerTree &tree,
     SOSIM_REQUIRE(config.level != power::Level::Datacenter,
                   "FragmentationMonitor: the DC level is placement-"
                   "invariant; watch a lower level");
+    SOSIM_REQUIRE(config.minValidFraction >= 0.0 &&
+                      config.minValidFraction <= 1.0,
+                  "FragmentationMonitor: minValidFraction must be in "
+                  "[0, 1]");
+    SOSIM_REQUIRE(config.degradedThresholdFactor >= 1.0,
+                  "FragmentationMonitor: degradedThresholdFactor must "
+                  "be >= 1");
 }
 
 MonitorObservation
@@ -44,16 +51,60 @@ FragmentationMonitor::observeWeek(
 {
     SOSIM_SPAN("monitor.observe_week");
     const auto t0 = std::chrono::steady_clock::now();
-    const auto node_traces = tree_.aggregateTraces(itraces, assignment);
 
     MonitorObservation obs;
     obs.week = weekCounter_++;
+
+    // Validity sweep: one pass per trace.  Fully valid weeks take the
+    // zero-copy path below; anything with gaps is repaired into a copy.
+    double valid_sum = 0.0;
+    bool any_gap = false;
+    std::vector<double> validity(itraces.size(), 1.0);
+    for (std::size_t i = 0; i < itraces.size(); ++i) {
+        validity[i] = trace::validFraction(itraces[i]);
+        valid_sum += validity[i];
+        any_gap = any_gap || validity[i] < 1.0;
+    }
+    obs.validFraction = itraces.empty()
+                            ? 1.0
+                            : valid_sum /
+                                  static_cast<double>(itraces.size());
+
+    std::vector<trace::TimeSeries> repaired;
+    const std::vector<trace::TimeSeries> *week = &itraces;
+    if (any_gap) {
+        obs.degradedData = true;
+        repaired = itraces;
+        for (std::size_t i = 0; i < repaired.size(); ++i) {
+            if (validity[i] >= 1.0)
+                continue;
+            if (validity[i] < config_.minValidFraction) {
+                // Mostly fabricated: contribute nothing rather than a
+                // guess (the zeros keep aggregateTraces' shape intact).
+                repaired[i] = trace::TimeSeries::zeros(
+                    repaired[i].size(), repaired[i].intervalMinutes());
+                ++obs.excludedInstances;
+                continue;
+            }
+            const auto r =
+                trace::repairSeries(repaired[i], config_.repairPolicy);
+            obs.repairedSamples += r.samplesRepaired;
+        }
+        week = &repaired;
+    }
+
+    const auto node_traces = tree_.aggregateTraces(*week, assignment);
     obs.sumOfPeaks = tree_.sumOfPeaks(node_traces, config_.level);
     obs.rootPeak = node_traces[tree_.root()].peak();
     SOSIM_ASSERT(obs.rootPeak > 0.0,
                  "FragmentationMonitor: zero root peak");
     obs.fragmentationRatio = obs.sumOfPeaks / obs.rootPeak;
 
+    // Degraded weeks face widened thresholds: repaired samples can
+    // fabricate fragmentation, so demand a proportionally larger margin
+    // before recommending churn.
+    const double widen =
+        obs.degradedData ? config_.degradedThresholdFactor : 1.0;
     if (window_.empty()) {
         obs.action = MonitorAction::None;
     } else {
@@ -61,17 +112,22 @@ FragmentationMonitor::observeWeek(
             *std::min_element(window_.begin(), window_.end());
         const double degradation =
             obs.fragmentationRatio / baseline - 1.0;
-        if (degradation >= config_.replaceThreshold)
+        if (degradation >= config_.replaceThreshold * widen)
             obs.action = MonitorAction::Replace;
-        else if (degradation >= config_.remapThreshold)
+        else if (degradation >= config_.remapThreshold * widen)
             obs.action = MonitorAction::Remap;
         else
             obs.action = MonitorAction::None;
     }
 
-    window_.push_back(obs.fragmentationRatio);
-    while (window_.size() > config_.baselineWindowWeeks)
-        window_.pop_front();
+    // Only healthy ratios feed the baseline window: a ratio computed
+    // from fabricated samples must not become the bar that future
+    // healthy weeks are judged against.
+    if (!obs.degradedData) {
+        window_.push_back(obs.fragmentationRatio);
+        while (window_.size() > config_.baselineWindowWeeks)
+            window_.pop_front();
+    }
 
     obs.evalSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -84,6 +140,13 @@ FragmentationMonitor::observeWeek(
         .counter("monitor.action." + monitorActionName(obs.action))
         .inc();
 #endif
+    if (obs.degradedData) {
+        SOSIM_COUNT("monitor.degraded_observations");
+        SOSIM_COUNT_ADD("monitor.repaired_samples", obs.repairedSamples);
+        SOSIM_COUNT_ADD("monitor.excluded_instances",
+                        obs.excludedInstances);
+    }
+    SOSIM_GAUGE_SET("monitor.valid_fraction", obs.validFraction);
     SOSIM_GAUGE_SET("monitor.sum_of_peaks", obs.sumOfPeaks);
     SOSIM_GAUGE_SET("monitor.root_peak", obs.rootPeak);
     SOSIM_GAUGE_SET("monitor.fragmentation_ratio", obs.fragmentationRatio);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "power/power_tree.h"
+#include "trace/repair.h"
 #include "trace/time_series.h"
 
 namespace sosim::core {
@@ -60,6 +61,19 @@ struct MonitorObservation {
      * "monitor.observe_seconds" histogram.
      */
     double evalSeconds = 0.0;
+    /**
+     * True when this week's telemetry contained missing samples and the
+     * ratio was computed from repaired data.  Degraded observations are
+     * flagged, judged against conservatively widened thresholds, and
+     * kept out of the baseline window (see MonitorConfig).
+     */
+    bool degradedData = false;
+    /** Mean valid fraction of this week's I-traces before repair. */
+    double validFraction = 1.0;
+    /** Samples filled in by the repair policy for this evaluation. */
+    std::size_t repairedSamples = 0;
+    /** Instances below minValidFraction, excluded from aggregation. */
+    std::size_t excludedInstances = 0;
 };
 
 /** Monitor configuration. */
@@ -72,6 +86,29 @@ struct MonitorConfig {
     double remapThreshold = 0.02;
     /** Relative ratio degradation that triggers a full re-place. */
     double replaceThreshold = 0.08;
+    /**
+     * Gap-repair policy applied (to an internal copy) when a week's
+     * telemetry contains NaN samples; the caller's traces are never
+     * mutated.
+     */
+    trace::RepairPolicy repairPolicy = trace::RepairPolicy::Interpolate;
+    /**
+     * Instances whose week is less valid than this fraction are dropped
+     * from the aggregation entirely — mostly-fabricated traces should
+     * not steer remap/replace decisions.
+     */
+    double minValidFraction = 0.5;
+    /**
+     * Threshold widening factor applied while data is degraded: both
+     * action thresholds are multiplied by this, so noisy weeks must
+     * show proportionally more degradation before the monitor recommends
+     * churn.  This is the conservative-headroom rule: acting on repaired
+     * data risks remapping against sensor artifacts, so the monitor
+     * demands a wider margin before it acts.  Degraded ratios are also
+     * kept out of the baseline window so they cannot lower the baseline
+     * that future healthy weeks are judged against.
+     */
+    double degradedThresholdFactor = 2.0;
 };
 
 /**
@@ -94,6 +131,13 @@ class FragmentationMonitor
      * The baseline is the minimum fragmentation ratio over the sliding
      * window; an observation whose ratio exceeds the baseline by the
      * configured thresholds triggers Remap / Replace.
+     *
+     * Degraded telemetry (NaN samples) is handled gracefully: the week
+     * is repaired into an internal copy under config().repairPolicy,
+     * instances below minValidFraction are excluded, the observation is
+     * flagged degradedData, and the action thresholds are widened by
+     * degradedThresholdFactor so the monitor does not recommend churn
+     * based on fabricated samples.
      *
      * @param itraces    This week's I-trace of every instance.
      * @param assignment The placement currently deployed.

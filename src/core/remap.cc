@@ -75,6 +75,9 @@ Remapper::Remapper(const power::PowerTree &tree, RemapConfig config)
     SOSIM_REQUIRE(config.maxSwaps >= 0, "Remapper: maxSwaps must be >= 0");
     SOSIM_REQUIRE(config.candidatesPerRound >= 1,
                   "Remapper: candidatesPerRound must be >= 1");
+    SOSIM_REQUIRE(config.minValidFraction >= 0.0 &&
+                      config.minValidFraction <= 1.0,
+                  "Remapper: minValidFraction must be in [0, 1]");
 }
 
 std::vector<double>
@@ -100,11 +103,29 @@ Remapper::rackScores(const power::Assignment &assignment,
 
 std::vector<SwapRecord>
 Remapper::refine(power::Assignment &assignment,
-                 const std::vector<trace::TimeSeries> &itraces) const
+                 const std::vector<trace::TimeSeries> &itraces,
+                 const std::vector<double> *validity) const
 {
     SOSIM_SPAN("remap.refine");
     SOSIM_REQUIRE(assignment.size() == itraces.size(),
                   "Remapper::refine: size mismatch");
+    SOSIM_REQUIRE(validity == nullptr ||
+                      validity->size() == itraces.size(),
+                  "Remapper::refine: validity vector size mismatch");
+
+    // Degraded-data filter: instances whose telemetry is mostly
+    // fabricated stay where they are (they still weigh on their rack's
+    // aggregate — the power is real even if the trace shape is not).
+    const auto swappable = [&](std::size_t instance) {
+        return validity == nullptr ||
+               (*validity)[instance] >= config_.minValidFraction;
+    };
+    std::size_t excluded = 0;
+    if (validity != nullptr)
+        for (const double v : *validity)
+            if (v < config_.minValidFraction)
+                ++excluded;
+    SOSIM_COUNT_ADD("remap.instances_excluded", excluded);
 
     // Warm the per-instance stats caches serially up front: the parallel
     // candidate evaluation below reads them from worker threads.
@@ -170,6 +191,12 @@ Remapper::refine(power::Assignment &assignment,
                          i};
         });
         std::sort(scored.begin(), scored.end());
+        if (validity != nullptr)
+            scored.erase(std::remove_if(scored.begin(), scored.end(),
+                                        [&](const auto &entry) {
+                                            return !swappable(entry.second);
+                                        }),
+                         scored.end());
         const std::size_t candidates =
             std::min(config_.candidatesPerRound, scored.size());
 
@@ -195,6 +222,8 @@ Remapper::refine(power::Assignment &assignment,
             for (std::size_t pos_b = 0; pos_b < rack_b.members.size();
                  ++pos_b) {
                 const std::size_t inst_b = rack_b.members[pos_b];
+                if (!swappable(inst_b))
+                    continue;
                 const double score_b_before =
                     diffScoreFused(itraces[inst_b], rack_b,
                                    itraces[inst_b],

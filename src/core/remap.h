@@ -26,6 +26,15 @@ struct RemapConfig {
     /** How many of the worst-scoring members of the fragmented node are
      *  considered as swap-out candidates each round. */
     std::size_t candidatesPerRound = 4;
+    /**
+     * Instances whose trace validity (fraction of genuinely measured
+     * samples, see trace::validFraction / trace::RepairSummary) falls
+     * below this are excluded from swap candidacy on both sides of a
+     * swap: a trace that is mostly repair-fabricated must not drive
+     * placement churn.  Only takes effect when refine() is given a
+     * validity vector; 0.0 disables the filter.
+     */
+    double minValidFraction = 0.5;
 };
 
 /** One accepted swap, for reporting. */
@@ -56,12 +65,21 @@ class Remapper
      * Refine an assignment in place against (possibly drifted) I-traces.
      *
      * @param assignment Placement to refine; updated in place.
-     * @param itraces    Current averaged I-traces of every instance.
+     * @param itraces    Current averaged I-traces of every instance;
+     *                   must be gap-free (repair degraded telemetry with
+     *                   trace::repairAll first).
+     * @param validity   Optional per-instance valid fraction *before*
+     *                   repair (e.g. RepairSummary::validBefore).  When
+     *                   given, instances below config's
+     *                   minValidFraction still count toward their rack's
+     *                   aggregate but are never chosen as a swap-out
+     *                   candidate or a swap partner.
      * @return The accepted swaps, in order.
      */
     std::vector<SwapRecord>
     refine(power::Assignment &assignment,
-           const std::vector<trace::TimeSeries> &itraces) const;
+           const std::vector<trace::TimeSeries> &itraces,
+           const std::vector<double> *validity = nullptr) const;
 
     /**
      * Asynchrony score of each rack under an assignment (1-member racks

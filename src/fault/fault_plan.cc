@@ -1,0 +1,251 @@
+#include "fault_plan.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace sosim::fault {
+
+namespace {
+
+/**
+ * Draw a length with the given mean: uniform on [1, 2*mean - 1].  Keeps
+ * the schedule deterministic and the mean exact without the tail of a
+ * geometric draw.
+ */
+std::size_t
+drawLength(util::Rng &rng, double mean)
+{
+    const auto hi = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(2.0 * mean) - 1);
+    return static_cast<std::size_t>(rng.uniformInt(1, hi));
+}
+
+/** FNV-1a 64-bit over a byte buffer. */
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+hashU64(std::uint64_t h, std::uint64_t v)
+{
+    return fnv1a(h, &v, sizeof v);
+}
+
+std::uint64_t
+hashDouble(std::uint64_t h, double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    return hashU64(h, bits);
+}
+
+} // namespace
+
+FaultProfile
+faultProfile(const std::string &name)
+{
+    FaultProfile p;
+    p.name = name;
+    if (name == "none") {
+        return p;
+    }
+    if (name == "mild") {
+        p.sampleLossRate = 0.01;
+        p.stuckSensorRate = 0.02;
+        p.clockSkewRate = 0.01;
+        return p;
+    }
+    if (name == "harsh") {
+        p.sampleLossRate = 0.05;
+        p.stuckSensorRate = 0.05;
+        p.clockSkewRate = 0.03;
+        p.traceLossRate = 0.02;
+        p.breakerTrips = 1;
+        p.deratedNodes = 1;
+        return p;
+    }
+    SOSIM_REQUIRE(false, "unknown fault profile '" + name +
+                             "' (none|mild|harsh)");
+}
+
+FaultPlan
+FaultPlan::build(std::uint64_t seed, const FaultProfile &profile,
+                 TraceShape shape)
+{
+    SOSIM_REQUIRE(profile.sampleLossRate >= 0.0 &&
+                      profile.sampleLossRate < 1.0,
+                  "FaultPlan: sampleLossRate must be in [0, 1)");
+    SOSIM_REQUIRE(profile.meanGapSamples >= 1.0,
+                  "FaultPlan: meanGapSamples must be >= 1");
+    SOSIM_REQUIRE(profile.meanStuckSamples >= 1.0,
+                  "FaultPlan: meanStuckSamples must be >= 1");
+    SOSIM_REQUIRE(profile.meanTripSamples >= 1.0,
+                  "FaultPlan: meanTripSamples must be >= 1");
+    SOSIM_REQUIRE(profile.derateFactor > 0.0 &&
+                      profile.derateFactor <= 1.0,
+                  "FaultPlan: derateFactor must be in (0, 1]");
+    SOSIM_REQUIRE(profile.maxSkewSamples >= 0,
+                  "FaultPlan: maxSkewSamples must be >= 0");
+
+    FaultPlan plan;
+    plan.seed_ = seed;
+    plan.profile_ = profile;
+    plan.shape_ = shape;
+    if (shape.instances == 0 || shape.samplesPerTrace == 0)
+        return plan;
+
+    util::Rng rng(seed);
+    const auto n = static_cast<std::int64_t>(shape.instances);
+    const auto len = static_cast<std::int64_t>(shape.samplesPerTrace);
+
+    // Dropout gaps: draw until the sample-loss quota is met.  Gaps may
+    // overlap; injection counts actual NaN'd samples, so the realized
+    // rate can undershoot the quota slightly — fine for a fault model.
+    const auto quota = static_cast<std::size_t>(
+        profile.sampleLossRate *
+        static_cast<double>(shape.instances * shape.samplesPerTrace));
+    std::size_t scheduled = 0;
+    while (scheduled < quota) {
+        SampleGap gap;
+        gap.instance = static_cast<std::size_t>(rng.uniformInt(0, n - 1));
+        gap.firstSample =
+            static_cast<std::size_t>(rng.uniformInt(0, len - 1));
+        gap.length = std::min(drawLength(rng, profile.meanGapSamples),
+                              shape.samplesPerTrace - gap.firstSample);
+        plan.gaps_.push_back(gap);
+        scheduled += gap.length;
+    }
+
+    // Per-instance faults: one Bernoulli draw per instance and fault
+    // kind, in instance order, so the schedule is stable under any
+    // iteration of the plan.
+    for (std::size_t i = 0; i < shape.instances; ++i) {
+        if (rng.chance(profile.stuckSensorRate)) {
+            StuckSensor stuck;
+            stuck.instance = i;
+            stuck.firstSample =
+                static_cast<std::size_t>(rng.uniformInt(0, len - 1));
+            stuck.length =
+                std::min(drawLength(rng, profile.meanStuckSamples),
+                         shape.samplesPerTrace - stuck.firstSample);
+            plan.stuck_.push_back(stuck);
+        }
+        if (rng.chance(profile.clockSkewRate) &&
+            profile.maxSkewSamples > 0) {
+            ClockSkew skew;
+            skew.instance = i;
+            skew.offsetSamples = static_cast<int>(rng.uniformInt(
+                -profile.maxSkewSamples, profile.maxSkewSamples));
+            if (skew.offsetSamples != 0)
+                plan.skews_.push_back(skew);
+        }
+        if (rng.chance(profile.traceLossRate))
+            plan.losses_.push_back(TraceLoss{i});
+    }
+
+    // Power events.
+    for (int e = 0; e < profile.breakerTrips; ++e) {
+        PowerEvent ev;
+        ev.kind = PowerEventKind::BreakerTrip;
+        ev.nodeOrdinal = static_cast<std::size_t>(
+            rng.uniformInt(0, std::numeric_limits<std::int64_t>::max()));
+        ev.atSample = static_cast<std::size_t>(rng.uniformInt(0, len - 1));
+        ev.durationSamples =
+            std::min(drawLength(rng, profile.meanTripSamples),
+                     shape.samplesPerTrace - ev.atSample);
+        plan.events_.push_back(ev);
+    }
+    for (int e = 0; e < profile.deratedNodes; ++e) {
+        PowerEvent ev;
+        ev.kind = PowerEventKind::Derate;
+        ev.nodeOrdinal = static_cast<std::size_t>(
+            rng.uniformInt(0, std::numeric_limits<std::int64_t>::max()));
+        ev.atSample = static_cast<std::size_t>(rng.uniformInt(0, len - 1));
+        ev.factor = profile.derateFactor;
+        plan.events_.push_back(ev);
+    }
+    return plan;
+}
+
+std::size_t
+FaultPlan::scheduledGapSamples() const
+{
+    std::size_t total = 0;
+    for (const auto &gap : gaps_)
+        total += gap.length;
+    return total;
+}
+
+std::uint64_t
+FaultPlan::fingerprint() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV offset basis.
+    h = hashU64(h, seed_);
+    h = hashU64(h, shape_.instances);
+    h = hashU64(h, shape_.samplesPerTrace);
+    h = fnv1a(h, profile_.name.data(), profile_.name.size());
+    for (const auto &g : gaps_) {
+        h = hashU64(h, g.instance);
+        h = hashU64(h, g.firstSample);
+        h = hashU64(h, g.length);
+    }
+    for (const auto &s : stuck_) {
+        h = hashU64(h, s.instance);
+        h = hashU64(h, s.firstSample);
+        h = hashU64(h, s.length);
+    }
+    for (const auto &s : skews_) {
+        h = hashU64(h, s.instance);
+        h = hashU64(h, static_cast<std::uint64_t>(
+                           static_cast<std::int64_t>(s.offsetSamples)));
+    }
+    for (const auto &l : losses_)
+        h = hashU64(h, l.instance);
+    for (const auto &e : events_) {
+        h = hashU64(h, static_cast<std::uint64_t>(e.kind));
+        h = hashU64(h, e.nodeOrdinal);
+        h = hashU64(h, e.atSample);
+        h = hashU64(h, e.durationSamples);
+        h = hashDouble(h, e.factor);
+    }
+    return h;
+}
+
+FaultPlanSpec
+parseFaultPlanSpec(const std::string &text)
+{
+    SOSIM_REQUIRE(!text.empty(), "--fault-plan: empty spec");
+    FaultPlanSpec spec;
+    const auto colon = text.find(':');
+    const std::string seed_text = text.substr(0, colon);
+    try {
+        std::size_t used = 0;
+        spec.seed = std::stoull(seed_text, &used);
+        SOSIM_REQUIRE(used == seed_text.size(),
+                      "--fault-plan: seed '" + seed_text +
+                          "' is not a number");
+    } catch (const util::FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        SOSIM_REQUIRE(false, "--fault-plan: seed '" + seed_text +
+                                 "' is not a number");
+    }
+    if (colon != std::string::npos) {
+        spec.profile = text.substr(colon + 1);
+        faultProfile(spec.profile); // Validate the name eagerly.
+    }
+    return spec;
+}
+
+} // namespace sosim::fault

@@ -1,0 +1,167 @@
+#include "inject.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/obs.h"
+#include "util/error.h"
+
+namespace sosim::fault {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+void
+requireShape(const std::vector<trace::TimeSeries> &traces,
+             const FaultPlan &plan, const char *what)
+{
+    SOSIM_REQUIRE(traces.size() == plan.shape().instances, what);
+    for (const auto &t : traces)
+        SOSIM_REQUIRE(t.size() == plan.shape().samplesPerTrace, what);
+}
+
+} // namespace
+
+InjectionReport
+injectTraceFaults(std::vector<trace::TimeSeries> &traces,
+                  const FaultPlan &plan)
+{
+    SOSIM_SPAN("fault.inject_traces");
+    requireShape(traces, plan,
+                 "injectTraceFaults: traces do not match the plan shape");
+    InjectionReport report;
+
+    // 1. Clock skew: rotate the week (the lost tail wraps around, which
+    // is the right model for periodic weekly traces).
+    for (const auto &skew : plan.clockSkews()) {
+        auto &ts = traces[skew.instance];
+        const auto n = static_cast<long>(ts.size());
+        long shift = skew.offsetSamples % n;
+        if (shift < 0)
+            shift += n;
+        if (shift == 0)
+            continue;
+        std::vector<double> rotated(ts.size());
+        for (long i = 0; i < n; ++i)
+            rotated[static_cast<std::size_t>((i + shift) % n)] =
+                ts[static_cast<std::size_t>(i)];
+        ts = trace::TimeSeries(std::move(rotated), ts.intervalMinutes());
+        ++report.tracesSkewed;
+    }
+
+    // 2. Stuck-at windows: the reading at the window start repeats.
+    for (const auto &stuck : plan.stuckSensors()) {
+        auto &ts = traces[stuck.instance];
+        if (stuck.length == 0)
+            continue;
+        const double held = ts[stuck.firstSample];
+        for (std::size_t i = 1; i < stuck.length; ++i)
+            ts[stuck.firstSample + i] = held;
+        report.samplesStuck += stuck.length - 1;
+    }
+
+    // 3. Dropout gaps to NaN (already-NaN samples are not recounted, so
+    // overlapping gaps report the true damage).
+    for (const auto &gap : plan.gaps()) {
+        auto &ts = traces[gap.instance];
+        for (std::size_t i = 0; i < gap.length; ++i) {
+            double &sample = ts[gap.firstSample + i];
+            if (!std::isnan(sample)) {
+                sample = kNaN;
+                ++report.samplesDropped;
+            }
+        }
+    }
+
+    // 4. Whole-trace losses.
+    for (const auto &loss : plan.traceLosses()) {
+        auto &ts = traces[loss.instance];
+        for (std::size_t i = 0; i < ts.size(); ++i) {
+            if (!std::isnan(ts[i])) {
+                ts[i] = kNaN;
+                ++report.samplesDropped;
+            }
+        }
+        ++report.tracesLost;
+    }
+
+    SOSIM_COUNT_ADD("fault.samples_dropped", report.samplesDropped);
+    SOSIM_COUNT_ADD("fault.samples_stuck", report.samplesStuck);
+    SOSIM_COUNT_ADD("fault.traces_lost", report.tracesLost);
+    SOSIM_COUNT_ADD("fault.traces_skewed", report.tracesSkewed);
+    return report;
+}
+
+InjectionReport
+injectBreakerTrips(std::vector<trace::TimeSeries> &traces,
+                   const power::PowerTree &tree,
+                   const power::Assignment &assignment,
+                   const FaultPlan &plan)
+{
+    SOSIM_SPAN("fault.inject_breaker_trips");
+    requireShape(traces, plan,
+                 "injectBreakerTrips: traces do not match the plan shape");
+    SOSIM_REQUIRE(assignment.size() == traces.size(),
+                  "injectBreakerTrips: assignment does not cover the "
+                  "trace population");
+    InjectionReport report;
+    // Trips target racks that actually serve load: resolving the
+    // ordinal over occupied racks only keeps sparse topologies (few
+    // instances, many racks) from wasting every trip on an empty rack.
+    std::vector<power::NodeId> occupied;
+    for (const auto rack : tree.racks())
+        if (std::find(assignment.begin(), assignment.end(), rack) !=
+            assignment.end())
+            occupied.push_back(rack);
+    if (occupied.empty())
+        return report;
+    std::vector<bool> hit(traces.size(), false);
+    for (const auto &event : plan.powerEvents()) {
+        if (event.kind != PowerEventKind::BreakerTrip)
+            continue;
+        const power::NodeId rack =
+            occupied[event.nodeOrdinal % occupied.size()];
+        for (std::size_t i = 0; i < assignment.size(); ++i) {
+            if (assignment[i] != rack)
+                continue;
+            auto &ts = traces[i];
+            for (std::size_t s = 0; s < event.durationSamples; ++s)
+                ts[event.atSample + s] = 0.0;
+            report.blackoutSamples += event.durationSamples;
+            if (!hit[i]) {
+                hit[i] = true;
+                ++report.instancesBlackedOut;
+            }
+        }
+    }
+    SOSIM_COUNT_ADD("fault.blackout_samples", report.blackoutSamples);
+    SOSIM_COUNT_ADD("fault.instances_blacked_out",
+                    report.instancesBlackedOut);
+    return report;
+}
+
+std::vector<power::NodeId>
+applyDerating(power::PowerTree &tree, const FaultPlan &plan,
+              power::Level level)
+{
+    std::vector<power::NodeId> derated;
+    const auto &nodes = tree.nodesAtLevel(level);
+    if (nodes.empty())
+        return derated;
+    for (const auto &event : plan.powerEvents()) {
+        if (event.kind != PowerEventKind::Derate)
+            continue;
+        const power::NodeId id = nodes[event.nodeOrdinal % nodes.size()];
+        const double budget = tree.node(id).budgetWatts;
+        if (budget <= 0.0)
+            continue; // Nothing provisioned, nothing to derate.
+        tree.setBudget(id, budget * event.factor);
+        derated.push_back(id);
+    }
+    SOSIM_COUNT_ADD("fault.nodes_derated", derated.size());
+    return derated;
+}
+
+} // namespace sosim::fault

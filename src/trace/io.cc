@@ -1,5 +1,6 @@
 #include "io.h"
 
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -84,27 +85,47 @@ readCsv(std::istream &is)
     bundle.names = splitCsvLine(line);
     SOSIM_REQUIRE(!bundle.names.empty(), "readCsv: no columns");
 
-    // Body.
+    // Body.  Errors name the offending line (1-based, counting the
+    // header) and column so a bad row in a million-line telemetry dump
+    // can actually be found.
     std::vector<std::vector<double>> columns(bundle.names.size());
+    std::size_t line_no = 2; // Header and name rows already consumed.
     while (std::getline(is, line)) {
+        ++line_no;
         if (line.empty())
             continue;
         const auto cells = splitCsvLine(line);
         SOSIM_REQUIRE(cells.size() == bundle.names.size(),
-                      "readCsv: ragged row");
+                      "readCsv: ragged row at line " +
+                          std::to_string(line_no) + ": expected " +
+                          std::to_string(bundle.names.size()) +
+                          " cells, got " + std::to_string(cells.size()));
         for (std::size_t c = 0; c < cells.size(); ++c) {
+            const std::string where = "line " + std::to_string(line_no) +
+                                      ", column '" + bundle.names[c] +
+                                      "'";
+            double v = 0.0;
             try {
                 std::size_t used = 0;
-                const double v = std::stod(cells[c], &used);
+                v = std::stod(cells[c], &used);
                 SOSIM_REQUIRE(used == cells[c].size(),
-                              "readCsv: trailing junk in numeric cell");
-                columns[c].push_back(v);
+                              "readCsv: trailing junk in numeric cell '" +
+                                  cells[c] + "' at " + where);
             } catch (const util::FatalError &) {
                 throw;
             } catch (const std::exception &) {
                 SOSIM_REQUIRE(false, "readCsv: non-numeric cell '" +
-                                         cells[c] + "'");
+                                         cells[c] + "' at " + where);
             }
+            // stod happily parses "nan", "inf" and friends; a power
+            // sample must be a real measurement.  Degraded telemetry is
+            // modeled explicitly (fault::injectTraceFaults produces the
+            // NaN gaps, trace::repairAll heals them) — it does not enter
+            // through the interchange format.
+            SOSIM_REQUIRE(std::isfinite(v),
+                          "readCsv: non-finite sample '" + cells[c] +
+                              "' at " + where);
+            columns[c].push_back(v);
         }
     }
     SOSIM_REQUIRE(!columns.front().empty(), "readCsv: no data rows");

@@ -47,7 +47,10 @@ void writeCsv(std::ostream &os, const TraceBundle &bundle);
  * @param is Input stream in the format produced by writeCsv.
  * @return The parsed bundle.
  * @throws util::FatalError on malformed input (missing header, ragged
- *         rows, non-numeric cells, empty body).
+ *         rows, non-numeric cells, non-finite literals such as "nan" or
+ *         "inf", empty body); the message names the offending line and
+ *         column.  Degraded telemetry is modeled explicitly via
+ *         src/fault + trace::repairAll, never smuggled in as NaN cells.
  */
 TraceBundle readCsv(std::istream &is);
 

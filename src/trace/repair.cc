@@ -1,0 +1,148 @@
+#include "repair.h"
+
+#include <cmath>
+
+#include "obs/obs.h"
+#include "util/error.h"
+
+namespace sosim::trace {
+
+std::string
+repairPolicyName(RepairPolicy policy)
+{
+    switch (policy) {
+      case RepairPolicy::None:
+        return "none";
+      case RepairPolicy::HoldLast:
+        return "hold_last";
+      case RepairPolicy::Interpolate:
+        return "interpolate";
+    }
+    return "?";
+}
+
+RepairPolicy
+repairPolicyFromName(const std::string &name)
+{
+    if (name == "none")
+        return RepairPolicy::None;
+    if (name == "hold_last")
+        return RepairPolicy::HoldLast;
+    if (name == "interpolate")
+        return RepairPolicy::Interpolate;
+    SOSIM_REQUIRE(false, "unknown repair policy '" + name +
+                             "' (none|hold_last|interpolate)");
+}
+
+double
+validFraction(TraceView v)
+{
+    if (v.empty())
+        return 1.0;
+    std::size_t valid = 0;
+    for (const double x : v)
+        if (std::isfinite(x))
+            ++valid;
+    return static_cast<double>(valid) / static_cast<double>(v.size());
+}
+
+RepairResult
+repairSeries(TimeSeries &ts, RepairPolicy policy)
+{
+    RepairResult result;
+    if (ts.empty())
+        return result;
+
+    const std::size_t n = ts.size();
+    std::size_t invalid = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (!std::isfinite(ts[i]))
+            ++invalid;
+    result.validBefore =
+        static_cast<double>(n - invalid) / static_cast<double>(n);
+    if (invalid == 0 || policy == RepairPolicy::None)
+        return result;
+
+    if (invalid == n) {
+        // Nothing to extrapolate from: zero-fill and flag.
+        for (std::size_t i = 0; i < n; ++i)
+            ts[i] = 0.0;
+        result.samplesRepaired = n;
+        result.unrepairable = true;
+        return result;
+    }
+
+    // Walk the gaps.  `prev` is the index of the last valid sample seen
+    // (npos while inside a leading gap).
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t prev = npos;
+    std::size_t i = 0;
+    while (i < n) {
+        if (std::isfinite(ts[i])) {
+            prev = i++;
+            continue;
+        }
+        std::size_t end = i; // One past the gap's last sample.
+        while (end < n && !std::isfinite(ts[end]))
+            ++end;
+        const std::size_t next = end < n ? end : npos;
+
+        for (std::size_t g = i; g < end; ++g) {
+            double fill;
+            if (prev == npos) {
+                fill = ts[next]; // Leading gap: back-fill.
+            } else if (next == npos) {
+                fill = ts[prev]; // Trailing gap: hold.
+            } else if (policy == RepairPolicy::HoldLast) {
+                fill = ts[prev];
+            } else { // Interpolate.
+                const double t =
+                    static_cast<double>(g - prev) /
+                    static_cast<double>(next - prev);
+                fill = ts[prev] + t * (ts[next] - ts[prev]);
+            }
+            ts[g] = fill;
+        }
+        result.samplesRepaired += end - i;
+        i = end;
+    }
+    return result;
+}
+
+double
+RepairSummary::meanValidFraction() const
+{
+    if (validBefore.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (const double v : validBefore)
+        sum += v;
+    return sum / static_cast<double>(validBefore.size());
+}
+
+RepairSummary
+repairAll(std::vector<TimeSeries> &traces, RepairPolicy policy)
+{
+    SOSIM_SPAN("trace.repair_all");
+    RepairSummary summary;
+    summary.validBefore.reserve(traces.size());
+    for (auto &ts : traces) {
+        const auto r = repairSeries(ts, policy);
+        summary.validBefore.push_back(r.validBefore);
+        if (r.validBefore < 1.0)
+            ++summary.tracesDegraded;
+        summary.samplesRepaired += r.samplesRepaired;
+        if (r.unrepairable)
+            ++summary.tracesUnrepairable;
+        SOSIM_OBSERVE("trace.repair.valid_fraction", r.validBefore);
+    }
+    SOSIM_COUNT_ADD("trace.repair.samples_repaired",
+                    summary.samplesRepaired);
+    SOSIM_COUNT_ADD("trace.repair.traces_degraded",
+                    summary.tracesDegraded);
+    SOSIM_COUNT_ADD("trace.repair.traces_unrepairable",
+                    summary.tracesUnrepairable);
+    return summary;
+}
+
+} // namespace sosim::trace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Edge-case tests for the first-order DVFS model (src/sim/dvfs.h):
+ * clamping at the frequency envelope, power/frequency inversion round
+ * trips, degenerate model parameters, and constructor validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dvfs.h"
+#include "util/error.h"
+
+namespace {
+
+using sosim::sim::DvfsModel;
+using sosim::util::FatalError;
+
+TEST(Dvfs, NominalFrequencyDrawsNominalPower)
+{
+    const DvfsModel model;
+    EXPECT_DOUBLE_EQ(model.powerAt(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(model.throughputAt(1.0), 1.0);
+}
+
+TEST(Dvfs, PowerAndThroughputClampToTheEnvelope)
+{
+    const DvfsModel model(0.45, 3.0, 0.5, 1.2);
+    // Below the floor: behaves as if running at minFrequency.
+    EXPECT_DOUBLE_EQ(model.powerAt(0.0), model.powerAt(0.5));
+    EXPECT_DOUBLE_EQ(model.powerAt(-7.0), model.powerAt(0.5));
+    EXPECT_DOUBLE_EQ(model.throughputAt(0.1), 0.5);
+    // Above the ceiling: capped at the boost frequency.
+    EXPECT_DOUBLE_EQ(model.powerAt(99.0), model.powerAt(1.2));
+    EXPECT_DOUBLE_EQ(model.throughputAt(99.0), 1.2);
+}
+
+TEST(Dvfs, PowerIsMonotoneInFrequency)
+{
+    const DvfsModel model;
+    double prev = model.powerAt(model.minFrequency());
+    for (double f = model.minFrequency(); f <= model.maxFrequency();
+         f += 0.01) {
+        const double p = model.powerAt(f);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Dvfs, FrequencyForPowerInvertsPowerAt)
+{
+    const DvfsModel model(0.3, 3.0, 0.6, 1.1);
+    for (double f = 0.6; f <= 1.1; f += 0.05)
+        EXPECT_NEAR(model.frequencyForPower(model.powerAt(f)), f, 1e-12);
+}
+
+TEST(Dvfs, FrequencyForPowerClampsOutOfRangeBudgets)
+{
+    const DvfsModel model(0.45, 3.0, 0.5, 1.2);
+    // No budget at all: the model still cannot go below its floor.
+    EXPECT_DOUBLE_EQ(model.frequencyForPower(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(model.frequencyForPower(-1.0), 0.5);
+    // More budget than the boost ceiling can use: capped.
+    EXPECT_DOUBLE_EQ(model.frequencyForPower(10.0), 1.2);
+}
+
+TEST(Dvfs, DegenerateSingleFrequencyModel)
+{
+    // min == max == 1: a server with no DVFS range.  Every query
+    // collapses to the nominal point instead of dividing by zero.
+    const DvfsModel fixed(0.45, 3.0, 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(fixed.powerAt(0.2), 1.0);
+    EXPECT_DOUBLE_EQ(fixed.powerAt(5.0), 1.0);
+    EXPECT_DOUBLE_EQ(fixed.throughputAt(0.2), 1.0);
+    EXPECT_DOUBLE_EQ(fixed.frequencyForPower(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(fixed.frequencyForPower(2.0), 1.0);
+}
+
+TEST(Dvfs, ZeroIdleFractionIsAllDynamicPower)
+{
+    const DvfsModel model(0.0, 2.0, 0.5, 1.0);
+    EXPECT_DOUBLE_EQ(model.powerAt(0.5), 0.25);
+    EXPECT_DOUBLE_EQ(model.powerAt(1.0), 1.0);
+    EXPECT_NEAR(model.frequencyForPower(0.25), 0.5, 1e-12);
+}
+
+TEST(Dvfs, LinearExponentKeepsPowerProportionalToFrequency)
+{
+    const DvfsModel model(0.0, 1.0, 0.25, 1.0);
+    for (double f = 0.25; f <= 1.0; f += 0.25)
+        EXPECT_DOUBLE_EQ(model.powerAt(f), f);
+}
+
+TEST(Dvfs, ConstructorRejectsInvalidParameters)
+{
+    EXPECT_THROW(DvfsModel(-0.1, 3.0, 0.5, 1.2), FatalError);
+    EXPECT_THROW(DvfsModel(1.0, 3.0, 0.5, 1.2), FatalError);
+    EXPECT_THROW(DvfsModel(0.45, 0.5, 0.5, 1.2), FatalError);
+    EXPECT_THROW(DvfsModel(0.45, 3.0, 0.0, 1.2), FatalError);
+    EXPECT_THROW(DvfsModel(0.45, 3.0, 1.5, 1.2), FatalError);
+    EXPECT_THROW(DvfsModel(0.45, 3.0, 0.5, 0.9), FatalError);
+}
+
+} // namespace

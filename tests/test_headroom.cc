@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Edge-case tests for headroom accounting (src/core/headroom.h):
+ * single-instance racks, identical placements, degenerate (all-idle)
+ * traces, and the report accessors' failure modes.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/headroom.h"
+#include "power/power_tree.h"
+#include "trace/time_series.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sosim;
+using trace::TimeSeries;
+using util::FatalError;
+using util::LogicError;
+
+power::TopologySpec
+tinyTopology()
+{
+    power::TopologySpec topo;
+    topo.suites = 1;
+    topo.msbsPerSuite = 1;
+    topo.sbsPerMsb = 1;
+    topo.rppsPerSb = 2;
+    topo.racksPerRpp = 2;
+    return topo; // 4 racks.
+}
+
+TEST(Headroom, IdenticalPlacementsReportZeroReductionEverywhere)
+{
+    power::PowerTree tree(tinyTopology());
+    const std::vector<TimeSeries> itraces = {
+        TimeSeries({1.0, 2.0}, 1), TimeSeries({2.0, 1.0}, 1)};
+    const power::Assignment assignment{tree.racks()[0], tree.racks()[1]};
+    const auto report =
+        core::comparePlacements(tree, itraces, assignment, assignment);
+    ASSERT_EQ(report.levels.size(),
+              static_cast<std::size_t>(power::kNumLevels));
+    for (const auto &lc : report.levels) {
+        EXPECT_DOUBLE_EQ(lc.peakReductionFraction, 0.0);
+        EXPECT_DOUBLE_EQ(lc.baselineSumPeaks, lc.optimizedSumPeaks);
+    }
+    EXPECT_DOUBLE_EQ(report.extraServerFraction(), 0.0);
+}
+
+TEST(Headroom, SingleInstanceRacksStillAggregateCorrectly)
+{
+    // One instance per rack: rack peaks are instance peaks, and every
+    // placement permutation has the same sum of peaks at every level.
+    power::PowerTree tree(tinyTopology());
+    const std::vector<TimeSeries> itraces = {
+        TimeSeries({3.0, 1.0}, 1), TimeSeries({1.0, 3.0}, 1),
+        TimeSeries({2.0, 2.0}, 1), TimeSeries({0.5, 4.0}, 1)};
+    const auto racks = tree.racks();
+    const power::Assignment a{racks[0], racks[1], racks[2], racks[3]};
+    const power::Assignment b{racks[3], racks[2], racks[1], racks[0]};
+    const auto report = core::comparePlacements(tree, itraces, a, b);
+    EXPECT_DOUBLE_EQ(
+        report.at(power::Level::Rack).peakReductionFraction, 0.0);
+    EXPECT_DOUBLE_EQ(report.at(power::Level::Rack).baselineSumPeaks,
+                     3.0 + 3.0 + 2.0 + 4.0);
+}
+
+TEST(Headroom, ConsolidationShowsUpAsLeafReduction)
+{
+    // Two anti-correlated instances: apart, each rack peaks at 4; on one
+    // rack the sum flattens to 5 < 8.  Root peak is placement-invariant.
+    power::PowerTree tree(tinyTopology());
+    const std::vector<TimeSeries> itraces = {
+        TimeSeries({4.0, 1.0}, 1), TimeSeries({1.0, 4.0}, 1)};
+    const power::Assignment apart{tree.racks()[0], tree.racks()[1]};
+    const power::Assignment together{tree.racks()[0], tree.racks()[0]};
+    const auto report =
+        core::comparePlacements(tree, itraces, apart, together);
+    const auto &rack = report.at(power::Level::Rack);
+    EXPECT_DOUBLE_EQ(rack.baselineSumPeaks, 8.0);
+    EXPECT_DOUBLE_EQ(rack.optimizedSumPeaks, 5.0);
+    EXPECT_DOUBLE_EQ(rack.peakReductionFraction, 3.0 / 8.0);
+    EXPECT_DOUBLE_EQ(
+        report.at(power::Level::Datacenter).peakReductionFraction, 0.0);
+    EXPECT_DOUBLE_EQ(report.extraServerFraction(power::Level::Rack),
+                     8.0 / 5.0 - 1.0);
+}
+
+TEST(Headroom, AllIdleTracesAreALogicError)
+{
+    // A baseline with zero sum-of-peaks makes the reduction fraction
+    // undefined; comparePlacements treats it as a contract violation
+    // rather than quietly dividing by zero.
+    power::PowerTree tree(tinyTopology());
+    const std::vector<TimeSeries> idle = {TimeSeries::zeros(4),
+                                          TimeSeries::zeros(4)};
+    const power::Assignment assignment{tree.racks()[0], tree.racks()[1]};
+    EXPECT_THROW(
+        core::comparePlacements(tree, idle, assignment, assignment),
+        LogicError);
+}
+
+TEST(Headroom, ReportAccessorsRejectDegenerateReports)
+{
+    // at() on a level the report does not carry is fatal.
+    core::HeadroomReport empty;
+    EXPECT_THROW(empty.at(power::Level::Rpp), FatalError);
+
+    // extraServerFraction with zero optimized peaks (a hand-built or
+    // corrupted report) must not return a garbage ratio.
+    core::HeadroomReport zero_opt;
+    core::LevelComparison lc;
+    lc.level = power::Level::Rpp;
+    lc.baselineSumPeaks = 10.0;
+    lc.optimizedSumPeaks = 0.0;
+    zero_opt.levels.push_back(lc);
+    EXPECT_THROW(zero_opt.extraServerFraction(), FatalError);
+}
+
+} // namespace

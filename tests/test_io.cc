@@ -80,6 +80,54 @@ TEST(TraceIo, ReadRejectsMalformedInput)
     EXPECT_THROW(parse("# interval_minutes=5\na\n"), FatalError);
 }
 
+TEST(TraceIo, ReadRejectsNonFiniteLiterals)
+{
+    auto parse = [](const std::string &text) {
+        std::istringstream is(text);
+        return trace::readCsv(is);
+    };
+    // stod accepts all of these spellings; the trace format does not —
+    // degraded telemetry enters through the fault layer, not the CSV.
+    EXPECT_THROW(parse("# interval_minutes=5\na\nnan\n"), FatalError);
+    EXPECT_THROW(parse("# interval_minutes=5\na\nNaN\n"), FatalError);
+    EXPECT_THROW(parse("# interval_minutes=5\na\n-nan\n"), FatalError);
+    EXPECT_THROW(parse("# interval_minutes=5\na\ninf\n"), FatalError);
+    EXPECT_THROW(parse("# interval_minutes=5\na\n-inf\n"), FatalError);
+    EXPECT_THROW(parse("# interval_minutes=5\na\nInfinity\n"), FatalError);
+    EXPECT_THROW(parse("# interval_minutes=5\na,b\n1.0,nan\n"), FatalError);
+    EXPECT_THROW(parse("# interval_minutes=5\na\n1e999\n"), FatalError);
+}
+
+TEST(TraceIo, MalformedRowErrorsNameLineAndColumn)
+{
+    auto message = [](const std::string &text) -> std::string {
+        std::istringstream is(text);
+        try {
+            trace::readCsv(is);
+        } catch (const FatalError &e) {
+            return e.what();
+        }
+        return "";
+    };
+    // Data starts at physical line 3; the bad cell is on line 4.
+    const auto ragged =
+        message("# interval_minutes=5\na,b\n1,2\n1,2,3\n");
+    EXPECT_NE(ragged.find("line 4"), std::string::npos) << ragged;
+    EXPECT_NE(ragged.find("got 3"), std::string::npos) << ragged;
+
+    const auto bad_cell =
+        message("# interval_minutes=5\na,b\n1,2\n3,oops\n");
+    EXPECT_NE(bad_cell.find("line 4"), std::string::npos) << bad_cell;
+    EXPECT_NE(bad_cell.find("column 'b'"), std::string::npos) << bad_cell;
+    EXPECT_NE(bad_cell.find("oops"), std::string::npos) << bad_cell;
+
+    const auto non_finite =
+        message("# interval_minutes=5\na,b\nnan,2\n");
+    EXPECT_NE(non_finite.find("line 3"), std::string::npos) << non_finite;
+    EXPECT_NE(non_finite.find("column 'a'"), std::string::npos)
+        << non_finite;
+}
+
 TEST(TraceIo, SkipsBlankLines)
 {
     std::istringstream is(

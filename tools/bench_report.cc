@@ -9,6 +9,11 @@
  *
  *   bench_report [--out BENCH_report.json] [--label some-tag]
  *                [--threads N] [--repeats R] [--metrics-out FILE]
+ *                [--fault-plan SEED[:PROFILE]]
+ *
+ * --fault-plan degrades the benchmark inputs with a deterministic
+ * fault schedule (injected, then repaired; see src/fault) so the hot
+ * paths are also measured on realistic post-repair traces.
  *
  * --metrics-out additionally dumps the obs registry (counters gathered
  * while benchmarking: kernel invocations, stats-cache hits, pool busy
@@ -28,7 +33,10 @@
 #include <vector>
 
 #include "baseline/oblivious.h"
+#include "fault/fault_plan.h"
+#include "fault/inject.h"
 #include "obs/export.h"
+#include "trace/repair.h"
 #include "core/asynchrony.h"
 #include "core/placement.h"
 #include "core/remap.h"
@@ -147,6 +155,7 @@ main(int argc, char **argv)
 {
     std::string out = "BENCH_report.json";
     std::string metrics_out;
+    std::string fault_plan;
     std::string label = "dev";
     std::size_t pool_threads = util::threadCount();
     int repeats = 5;
@@ -170,10 +179,13 @@ main(int argc, char **argv)
             pool_threads = std::stoul(next("--threads"));
         else if (arg == "--repeats")
             repeats = std::stoi(next("--repeats"));
+        else if (arg == "--fault-plan")
+            fault_plan = next("--fault-plan");
         else {
             std::cerr << "usage: bench_report [--out FILE] [--label TAG] "
                          "[--threads N] [--repeats R] "
-                         "[--metrics-out FILE]\n";
+                         "[--metrics-out FILE] "
+                         "[--fault-plan SEED[:PROFILE]]\n";
             return 2;
         }
     }
@@ -181,7 +193,23 @@ main(int argc, char **argv)
     std::vector<Measurement> rows;
     for (const int per_service : {16, 64, 128}) {
         const auto dc = makeDc(per_service);
-        const auto traces = dc.trainingTraces();
+        auto traces = dc.trainingTraces();
+        // Optional degraded-input mode: inject + repair before timing,
+        // so the benchmarked paths see the realistic post-repair shape
+        // (stuck windows, interpolated gaps) instead of pristine traces.
+        if (!fault_plan.empty()) {
+            const auto fp_spec = fault::parseFaultPlanSpec(fault_plan);
+            const auto plan = fault::FaultPlan::build(
+                fp_spec.seed, fault::faultProfile(fp_spec.profile),
+                {traces.size(), traces.front().size()});
+            const auto report = fault::injectTraceFaults(traces, plan);
+            const auto repair = trace::repairAll(
+                traces, trace::RepairPolicy::Interpolate);
+            std::cerr << "bench_report: fault plan " << fault_plan
+                      << ": dropped " << report.samplesDropped
+                      << ", repaired " << repair.samplesRepaired
+                      << " samples\n";
+        }
         std::vector<std::size_t> service_of(dc.instanceCount());
         for (std::size_t i = 0; i < dc.instanceCount(); ++i)
             service_of[i] = dc.serviceOf(i);

@@ -34,9 +34,12 @@
 #include "core/monitor.h"
 #include "core/placement.h"
 #include "core/remap.h"
+#include "fault/fault_plan.h"
+#include "fault/inject.h"
 #include "obs/export.h"
 #include "power/assignment_io.h"
 #include "trace/io.h"
+#include "trace/repair.h"
 #include "util/error.h"
 #include "util/table.h"
 #include "workload/dc_presets.h"
@@ -246,11 +249,32 @@ cmdReport(const Args &args)
 {
     const auto spec = presetFromArgs(args);
     const auto dc = workload::generate(spec);
-    const auto training = dc.trainingTraces();
-    const auto test = dc.testTraces();
+    auto training = dc.trainingTraces();
+    auto test = dc.testTraces();
     std::vector<std::size_t> service_of(dc.instanceCount());
     for (std::size_t i = 0; i < dc.instanceCount(); ++i)
         service_of[i] = dc.serviceOf(i);
+
+    // Optional deterministic fault injection (--fault-plan
+    // seed[:profile]): the same plan degrades the training and the test
+    // copies; training is repaired before placement, and the repair's
+    // per-instance validity gates swap candidacy during refinement.
+    const bool faulted = args.has("fault-plan");
+    fault::FaultPlan plan;
+    fault::InjectionReport train_report;
+    trace::RepairSummary train_repair;
+    if (faulted) {
+        const auto fp_spec =
+            fault::parseFaultPlanSpec(args.require("fault-plan"));
+        plan = fault::FaultPlan::build(
+            fp_spec.seed, fault::faultProfile(fp_spec.profile),
+            {dc.instanceCount(), training.front().size()});
+        train_report = fault::injectTraceFaults(training, plan);
+        train_repair =
+            trace::repairAll(training, trace::RepairPolicy::Interpolate);
+        fault::injectTraceFaults(test, plan);
+        trace::repairAll(test, trace::RepairPolicy::Interpolate);
+    }
 
     power::PowerTree tree(spec.topology);
     const auto oblivious = baseline::obliviousPlacement(tree, service_of);
@@ -262,7 +286,16 @@ cmdReport(const Args &args)
     core::RemapConfig remap_config;
     remap_config.maxSwaps = args.getInt("max-swaps", 16);
     core::Remapper remapper(tree, remap_config);
-    const auto swaps = remapper.refine(optimized, training);
+    const auto swaps = remapper.refine(
+        optimized, training,
+        faulted ? &train_repair.validBefore : nullptr);
+
+    // Breaker trips hit the deployed placement during the evaluation
+    // week: the tripped rack's instances read zero for the blackout.
+    fault::InjectionReport trip_report;
+    if (faulted)
+        trip_report =
+            fault::injectBreakerTrips(test, tree, optimized, plan);
 
     const auto report =
         core::comparePlacements(tree, test, oblivious, optimized);
@@ -279,18 +312,47 @@ cmdReport(const Args &args)
     std::cout << "remap refinement: " << swaps.size()
               << " swaps accepted\n";
 
-    // Weekly fragmentation monitoring over every generated week.
+    if (faulted) {
+        std::cout << "fault plan seed " << plan.seed() << " profile '"
+                  << plan.profile().name << "' (fingerprint "
+                  << plan.fingerprint() << "):\n"
+                  << "  training: " << train_report.samplesDropped
+                  << " samples dropped, " << train_report.samplesStuck
+                  << " stuck, " << train_report.tracesSkewed
+                  << " traces skewed, " << train_report.tracesLost
+                  << " lost; " << train_repair.samplesRepaired
+                  << " samples repaired ("
+                  << train_repair.tracesUnrepairable
+                  << " unrepairable), mean validity "
+                  << util::fmtFixed(train_repair.meanValidFraction(), 4)
+                  << "\n"
+                  << "  test week: " << trip_report.blackoutSamples
+                  << " samples blacked out across "
+                  << trip_report.instancesBlackedOut
+                  << " instances by breaker trips\n";
+    }
+
+    // Weekly fragmentation monitoring over every generated week; with a
+    // fault plan active each week's telemetry is degraded the same way,
+    // exercising the monitor's repair + conservative-threshold path.
     core::FragmentationMonitor monitor(tree);
     for (int w = 0; w < spec.weeks; ++w) {
         std::vector<trace::TimeSeries> week;
         week.reserve(dc.instanceCount());
         for (std::size_t i = 0; i < dc.instanceCount(); ++i)
             week.push_back(dc.weekTrace(i, w));
+        if (faulted)
+            fault::injectTraceFaults(week, plan);
         const auto obs = monitor.observeWeek(week, optimized);
         std::cout << "monitor week " << obs.week << ": ratio "
                   << util::fmtFixed(obs.fragmentationRatio, 4)
-                  << ", action " << core::monitorActionName(obs.action)
-                  << "\n";
+                  << ", action " << core::monitorActionName(obs.action);
+        if (obs.degradedData)
+            std::cout << " (degraded: validity "
+                      << util::fmtFixed(obs.validFraction, 4) << ", "
+                      << obs.repairedSamples << " repaired, "
+                      << obs.excludedInstances << " excluded)";
+        std::cout << "\n";
     }
     return 0;
 }
@@ -309,7 +371,12 @@ usage()
         "  evaluate  --traces FILE --assignment FILE [--baseline FILE]\n"
         "            [topology]\n"
         "  report    --dc 1|2|3 [--scale S] [--interval M]\n"
-        "            [--max-swaps N]\n"
+        "            [--max-swaps N] [--fault-plan SEED[:PROFILE]]\n"
+        "\n"
+        "fault injection: --fault-plan 7:harsh degrades the generated\n"
+        "traces with a deterministic fault schedule (profiles: none,\n"
+        "mild, harsh) before placement/evaluation; degraded samples are\n"
+        "repaired by interpolation and counted in the metrics.\n"
         "\n"
         "topology flags: --suites N --msbs N --sbs N --rpps N --racks N\n"
         "(defaults 4/2/2/4/4 = 256 racks)\n"
