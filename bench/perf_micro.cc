@@ -14,6 +14,8 @@
 #include "core/placement.h"
 #include "core/remap.h"
 #include "core/service_traces.h"
+#include "trace/arena.h"
+#include "trace/kernels.h"
 #include "util/rng.h"
 #include "workload/catalog.h"
 #include "workload/generator.h"
@@ -100,6 +102,74 @@ BM_ScoreVectors_Reference(benchmark::State &state)
                             static_cast<long>(traces.size()));
 }
 BENCHMARK(BM_ScoreVectors_Reference)->Arg(16)->Arg(64)->Arg(128);
+
+void
+BM_ScoreVectors_Blocked(benchmark::State &state)
+{
+    // Arena-packed embedding on the blocked/SIMD kernels — the third
+    // point of the reference vs fused vs blocked trajectory.
+    const auto dc =
+        makeDc(static_cast<int>(state.range(0)), kScoringInterval);
+    const auto traces = dc.trainingTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    const auto straces = core::extractServiceTraces(traces, service_of, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::scoreVectorsBlocked(traces, straces.straces));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(traces.size()));
+    state.SetLabel(trace::kernelIsaName());
+}
+BENCHMARK(BM_ScoreVectors_Blocked)->Arg(16)->Arg(64)->Arg(128);
+
+void
+BM_ArenaPack(benchmark::State &state)
+{
+    // Cost of packing a scattered TimeSeries bundle into one aligned
+    // SoA buffer — the fixed overhead every arena consumer pays once.
+    const auto dc =
+        makeDc(static_cast<int>(state.range(0)), kScoringInterval);
+    const auto traces = dc.trainingTraces();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trace::TraceArena::fromSeries(traces));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(traces.size()));
+}
+BENCHMARK(BM_ArenaPack)->Arg(16)->Arg(64)->Arg(128);
+
+void
+BM_PeakKernel_StrictVsBlocked(benchmark::State &state)
+{
+    // Single-row peak(c + s*(a - b)) — the remap inner-loop kernel —
+    // strict sequential (range arg 0) vs blocked/dispatched (arg 1).
+    std::mt19937 rng(3);
+    std::uniform_real_distribution<double> dist(0.0, 2.0);
+    const std::size_t n = 2016; // one training week at 5-minute samples
+    std::vector<trace::TimeSeries> rows;
+    for (int i = 0; i < 3; ++i) {
+        std::vector<double> samples(n);
+        for (auto &s : samples)
+            s = dist(rng);
+        rows.emplace_back(std::move(samples), 5);
+    }
+    const bool blocked = state.range(0) != 0;
+    for (auto _ : state) {
+        const double peak =
+            blocked ? trace::peakOfAddScaledDiffBlocked(rows[0], rows[1],
+                                                        rows[2], 0.25)
+                    : trace::peakOfAddScaledDiff(rows[0], rows[1],
+                                                 rows[2], 0.25);
+        benchmark::DoNotOptimize(peak);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<long>(3 * n * sizeof(double)));
+    state.SetLabel(blocked ? trace::kernelIsaName() : "strict");
+}
+BENCHMARK(BM_PeakKernel_StrictVsBlocked)->Arg(0)->Arg(1);
 
 void
 BM_ScoreMatrix_ItoI(benchmark::State &state)
@@ -198,6 +268,30 @@ BM_RemapRefine(benchmark::State &state)
     }
 }
 BENCHMARK(BM_RemapRefine)->Arg(16)->Arg(64);
+
+void
+BM_RemapRefine_Blocked(benchmark::State &state)
+{
+    // Same refinement with the blocked kernel family (ULP-bounded
+    // contract; identical swaps on finite data).
+    const auto dc = makeDc(static_cast<int>(state.range(0)), 30);
+    const auto traces = dc.trainingTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    power::PowerTree tree(dc.spec().topology);
+    const auto start = baseline::obliviousPlacement(tree, service_of);
+    core::RemapConfig rc;
+    rc.maxSwaps = 16;
+    rc.kernels = trace::KernelMode::kBlocked;
+    core::Remapper remapper(tree, rc);
+    for (auto _ : state) {
+        power::Assignment assignment = start;
+        benchmark::DoNotOptimize(remapper.refine(assignment, traces));
+    }
+    state.SetLabel(trace::kernelIsaName());
+}
+BENCHMARK(BM_RemapRefine_Blocked)->Arg(16)->Arg(64);
 
 void
 BM_TraceGeneration(benchmark::State &state)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.h"
+#include "trace/arena.h"
 #include "trace/kernels.h"
 #include "util/error.h"
 #include "util/parallel.h"
@@ -80,6 +81,43 @@ scoreVectors(const std::vector<trace::TimeSeries> &itraces,
     util::parallelFor(itraces.size(), [&](std::size_t i) {
         out[i] = scoreVector(itraces[i], straces);
     });
+    return out;
+}
+
+std::vector<cluster::Point>
+scoreVectorsBlocked(const std::vector<trace::TimeSeries> &itraces,
+                    const std::vector<trace::TimeSeries> &straces)
+{
+    SOSIM_SPAN("scoring.score_vectors_blocked");
+    SOSIM_COUNT_ADD("scoring.rows", itraces.size());
+    SOSIM_REQUIRE(!straces.empty(), "scoreVectorsBlocked: need S-traces");
+    if (itraces.empty())
+        return {};
+
+    // Pack both populations into SoA arenas (contiguous, 64-byte-aligned
+    // rows) and compute the whole peak(a + b) grid with the blocked
+    // kernels; the Eq. 7 division happens on the cached peaks afterward.
+    const trace::TraceArena ivecs = trace::TraceArena::fromSeries(itraces);
+    const trace::TraceArena svecs = trace::TraceArena::fromSeries(straces);
+    std::vector<double> ipeaks(itraces.size());
+    for (std::size_t i = 0; i < itraces.size(); ++i)
+        ipeaks[i] = itraces[i].stats().peak;
+    std::vector<double> speaks(straces.size());
+    for (std::size_t j = 0; j < straces.size(); ++j)
+        speaks[j] = straces[j].stats().peak;
+
+    const std::vector<double> peaks = trace::scoreVectorsBatch(ivecs, svecs);
+    std::vector<cluster::Point> out(itraces.size());
+    for (std::size_t i = 0; i < itraces.size(); ++i) {
+        cluster::Point &v = out[i];
+        v.resize(straces.size());
+        for (std::size_t j = 0; j < straces.size(); ++j) {
+            const double aggregate_peak = peaks[i * straces.size() + j];
+            v[j] = aggregate_peak <= 0.0
+                       ? 0.0 // Zero-power convention.
+                       : (ipeaks[i] + speaks[j]) / aggregate_peak;
+        }
+    }
     return out;
 }
 

@@ -86,6 +86,19 @@ scoreVectors(const std::vector<trace::TimeSeries> &itraces,
              const std::vector<trace::TimeSeries> &straces);
 
 /**
+ * Blocked-kernel population embedding: identical semantics to
+ * scoreVectors, but both trace sets are packed into trace::TraceArena
+ * buffers and the peak(a + b) grid runs on the blocked/SIMD kernels
+ * (trace::scoreVectorsBatch).  On finite traces the scores are
+ * bit-identical to scoreVectors — peak reductions do not depend on scan
+ * association — but the family is ULP-bounded by contract, so consumers
+ * opt in via PlacementConfig::kernels rather than getting it silently.
+ */
+std::vector<cluster::Point>
+scoreVectorsBlocked(const std::vector<trace::TimeSeries> &itraces,
+                    const std::vector<trace::TimeSeries> &straces);
+
+/**
  * Differential asynchrony score of instance i against power node N
  * (section 3.6):
  *

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/obs.h"
+#include "trace/arena.h"
 #include "util/error.h"
 
 namespace sosim::core {
@@ -70,30 +71,38 @@ FragmentationMonitor::observeWeek(
                             : valid_sum /
                                   static_cast<double>(itraces.size());
 
-    std::vector<trace::TimeSeries> repaired;
-    const std::vector<trace::TimeSeries> *week = &itraces;
+    std::vector<trace::TimeSeries> node_traces;
     if (any_gap) {
         obs.degradedData = true;
-        repaired = itraces;
+        // Repair into an arena copy of the week (the caller's traces are
+        // never mutated): one contiguous allocation instead of a cloned
+        // vector of series, and the aggregation reads the rows directly.
+        trace::TraceArena repaired =
+            trace::TraceArena::fromSeries(itraces);
         for (std::size_t i = 0; i < repaired.size(); ++i) {
             if (validity[i] >= 1.0)
                 continue;
+            double *row = repaired.mutableRow(i);
             if (validity[i] < config_.minValidFraction) {
                 // Mostly fabricated: contribute nothing rather than a
                 // guess (the zeros keep aggregateTraces' shape intact).
-                repaired[i] = trace::TimeSeries::zeros(
-                    repaired[i].size(), repaired[i].intervalMinutes());
+                std::fill(row, row + repaired.samplesPerTrace(), 0.0);
                 ++obs.excludedInstances;
                 continue;
             }
             const auto r =
-                trace::repairSeries(repaired[i], config_.repairPolicy);
+                trace::repairSpan(row, repaired.samplesPerTrace(),
+                                  config_.repairPolicy);
             obs.repairedSamples += r.samplesRepaired;
         }
-        week = &repaired;
+        std::vector<trace::TraceView> views;
+        views.reserve(repaired.size());
+        for (trace::TraceId id = 0; id < repaired.size(); ++id)
+            views.push_back(repaired.view(id));
+        node_traces = tree_.aggregateTraces(views, assignment);
+    } else {
+        node_traces = tree_.aggregateTraces(itraces, assignment);
     }
-
-    const auto node_traces = tree_.aggregateTraces(*week, assignment);
     obs.sumOfPeaks = tree_.sumOfPeaks(node_traces, config_.level);
     obs.rootPeak = node_traces[tree_.root()].peak();
     SOSIM_ASSERT(obs.rootPeak > 0.0,

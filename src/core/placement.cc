@@ -15,10 +15,13 @@ namespace {
 /** Route the population embedding through the configured implementation. */
 std::vector<cluster::Point>
 embed(const std::vector<trace::TimeSeries> &itraces,
-      const std::vector<trace::TimeSeries> &straces, ScoringImpl impl)
+      const std::vector<trace::TimeSeries> &straces, ScoringImpl impl,
+      trace::KernelMode kernels)
 {
     if (impl == ScoringImpl::kReference)
         return reference::scoreVectors(itraces, straces);
+    if (kernels == trace::KernelMode::kBlocked)
+        return scoreVectorsBlocked(itraces, straces);
     return scoreVectors(itraces, straces);
 }
 
@@ -45,7 +48,8 @@ PlacementEngine::place(const std::vector<trace::TimeSeries> &itraces,
 
     const auto straces =
         extractServiceTraces(itraces, service_of, config_.topServices);
-    const auto vectors = embed(itraces, straces.straces, config_.scoring);
+    const auto vectors =
+        embed(itraces, straces.straces, config_.scoring, config_.kernels);
 
     std::vector<std::size_t> ids(itraces.size());
     for (std::size_t i = 0; i < ids.size(); ++i)
@@ -94,8 +98,8 @@ PlacementEngine::placeSubtree(const std::vector<trace::TimeSeries> &itraces,
     }
     const auto straces =
         extractServiceTraces(sub_traces, sub_service, config_.topServices);
-    const auto sub_vectors =
-        embed(sub_traces, straces.straces, config_.scoring);
+    const auto sub_vectors = embed(sub_traces, straces.straces,
+                                   config_.scoring, config_.kernels);
 
     // distribute() indexes vectors by instance id; scatter the subtree's
     // vectors into a full-size table.

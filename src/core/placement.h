@@ -20,6 +20,7 @@
 #include "cluster/kmeans.h"
 #include "core/asynchrony.h"
 #include "power/power_tree.h"
+#include "trace/kernels.h"
 #include "trace/time_series.h"
 
 namespace sosim::core {
@@ -45,6 +46,15 @@ struct PlacementConfig {
      * a fixed seed; kReference exists for A/B benchmarks and tests.
      */
     ScoringImpl scoring = ScoringImpl::kFused;
+    /**
+     * Kernel family for the embedding when scoring == kFused.  kStrict
+     * (the default) is the reference scan order; kBlocked packs the
+     * populations into trace::TraceArena buffers and runs the blocked /
+     * SIMD batch kernels (core::scoreVectorsBlocked) — bit-identical
+     * peaks on finite traces, ULP-bounded by contract.  Ignored for
+     * kReference scoring.
+     */
+    trace::KernelMode kernels = trace::KernelMode::kStrict;
 };
 
 /**

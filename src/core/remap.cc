@@ -5,6 +5,7 @@
 
 #include "core/asynchrony.h"
 #include "obs/obs.h"
+#include "trace/arena.h"
 #include "trace/kernels.h"
 #include "util/error.h"
 #include "util/parallel.h"
@@ -13,16 +14,34 @@ namespace sosim::core {
 
 namespace {
 
+/** Sentinel for "this rack owns no arena row" (empty racks). */
+constexpr trace::TraceId kNoRow = static_cast<trace::TraceId>(-1);
+
 /**
  * Mutable per-rack state kept while searching for swaps.  The aggregate
- * is maintained incrementally across accepted swaps (one subtract and
- * one add per side) instead of being re-summed, and its peak is served
- * from the TimeSeries stats cache — unchanged racks cost O(1) per round.
+ * lives as a running-sum row in the shared TraceArena and is maintained
+ * incrementally across accepted swaps (one fused sub/add-and-max pass
+ * per side) instead of being re-summed.  The per-member differential
+ * scores and others-peaks are cached too: they only change when a swap
+ * touches the rack, so rounds that merely mark a rack as tried reuse
+ * them wholesale.
  */
 struct RackState {
     std::vector<std::size_t> members;
-    trace::TimeSeries aggregate;
+    trace::TraceId aggRow = kNoRow;
+    double aggPeak = 0.0;
     double peakSum = 0.0; // Sum of member peaks.
+    /**
+     * Per-member caches, indexed like members:
+     *   scoreBefore[m] — differential score of member m against the rest
+     *                    of this rack (diffScore with itself leaving);
+     *   othersPeak[m]  — peak(aggregate - member m), the numerator term
+     *                    shared by the before/after scores at this rack.
+     * Valid while cacheValid; invalidated by an accepted swap here.
+     */
+    std::vector<double> scoreBefore;
+    std::vector<double> othersPeak;
+    bool cacheValid = false;
 };
 
 double
@@ -30,34 +49,9 @@ rackAsynchrony(const RackState &rack)
 {
     if (rack.members.empty())
         return 0.0;
-    const double aggregate_peak = rack.aggregate.peak();
-    if (aggregate_peak <= 0.0)
+    if (rack.aggPeak <= 0.0)
         return 0.0; // Zero-power convention (see core/asynchrony.h).
-    return rack.peakSum / aggregate_peak;
-}
-
-/**
- * Differential asynchrony score of a candidate trace against a rack's
- * members minus `out_member` (section 3.6), computed fused from the
- * rack's standing aggregate: no `aggregate - member` temporary, no
- * scaled copy.  `out_member` is the member leaving the rack (or being
- * scored against its own rack-mates).
- */
-double
-diffScoreFused(const trace::TimeSeries &candidate, const RackState &rack,
-               const trace::TimeSeries &out_member,
-               std::size_t other_count)
-{
-    if (other_count == 0)
-        return 2.0; // Joining an empty rack can never clash.
-    const double scale = 1.0 / static_cast<double>(other_count);
-    const double others_peak =
-        trace::peakOfDiff(rack.aggregate, out_member);
-    const double aggregate_peak = trace::peakOfAddScaledDiff(
-        candidate, rack.aggregate, out_member, scale);
-    if (aggregate_peak <= 0.0)
-        return 0.0; // Zero-power convention.
-    return (candidate.stats().peak + scale * others_peak) / aggregate_peak;
+    return rack.peakSum / rack.aggPeak;
 }
 
 /** Best swap found while scanning one (candidate, rack B) pair. */
@@ -66,6 +60,17 @@ struct LocalBest {
     std::size_t posB = 0;
     SwapRecord record;
 };
+
+/** Mode-routed kernels: strict preserves the reference scan order. */
+double
+peakOfAddScaledDiffMode(trace::KernelMode mode, trace::TraceView c,
+                        trace::TraceView a, trace::TraceView b,
+                        double scale)
+{
+    return mode == trace::KernelMode::kBlocked
+               ? trace::peakOfAddScaledDiffBlocked(c, a, b, scale)
+               : trace::peakOfAddScaledDiff(c, a, b, scale);
+}
 
 } // namespace
 
@@ -112,6 +117,9 @@ Remapper::refine(power::Assignment &assignment,
     SOSIM_REQUIRE(validity == nullptr ||
                       validity->size() == itraces.size(),
                   "Remapper::refine: validity vector size mismatch");
+    const trace::KernelMode mode = config_.kernels;
+    if (itraces.empty())
+        return {};
 
     // Degraded-data filter: instances whose telemetry is mostly
     // fabricated stay where they are (they still weigh on their rack's
@@ -127,31 +135,102 @@ Remapper::refine(power::Assignment &assignment,
                 ++excluded;
     SOSIM_COUNT_ADD("remap.instances_excluded", excluded);
 
-    // Warm the per-instance stats caches serially up front: the parallel
-    // candidate evaluation below reads them from worker threads.
-    for (const auto &t : itraces)
-        t.stats();
+    // Every trace, every rack running sum, and the per-candidate scratch
+    // rows live in one SoA arena: the whole swap scan walks contiguous
+    // 64-byte-aligned rows instead of chasing per-series allocations.
+    // Row ids: [0, N) instance traces (TraceId == instance index), then
+    // one aggregate row per occupied rack, then candidate scratch rows.
+    const auto rack_ids = tree_.racks();
+    trace::TraceArena arena = trace::TraceArena::fromSeries(
+        itraces, rack_ids.size() + config_.candidatesPerRound);
+    // Warm the per-instance stats rows up front: the parallel candidate
+    // evaluation below reads them from worker threads.
+    for (trace::TraceId id = 0; id < itraces.size(); ++id)
+        arena.stats(id);
 
-    // Build per-rack state once; it is maintained incrementally after
-    // every accepted swap rather than rebuilt.
+    // Build per-rack state once; aggregates are maintained incrementally
+    // after every accepted swap rather than rebuilt.
     std::vector<RackState> racks(tree_.nodeCount());
     const auto per_rack = tree_.instancesPerRack(assignment);
-    for (const auto rack : tree_.racks()) {
+    for (const auto rack : rack_ids) {
         auto &state = racks[rack];
         state.members = per_rack[rack];
         if (state.members.empty())
             continue;
-        state.aggregate =
-            trace::TimeSeries::zeros(itraces.front().size(),
-                                     itraces.front().intervalMinutes());
+        state.aggRow = arena.addZeros();
+        double *agg = arena.mutableRow(state.aggRow);
         for (const auto i : state.members) {
-            trace::accumulatePeak(state.aggregate, itraces[i]);
-            state.peakSum += itraces[i].stats().peak;
+            state.aggPeak = trace::accumulatePeakRow(agg, arena.view(i));
+            state.peakSum += arena.stats(i).peak;
         }
     }
 
-    // Rack ids once, for the flattened candidate×rack task grid.
-    const auto rack_ids = tree_.racks();
+    // Scratch rows for the per-candidate "aggregate minus leaver" diffs.
+    std::vector<trace::TraceId> scratch(config_.candidatesPerRound);
+    for (auto &row : scratch)
+        row = arena.addZeros();
+
+    // Differential score of `candidate` joining `rack` after `out`
+    // leaves, served from the hoisted others-row/peak: the numerator
+    // reuses others_peak, the denominator is one fused pass.  In strict
+    // mode the pass aborts once the prefix peak already proves
+    // `score <= threshold` — the caller's accept test takes the
+    // identical branch either way (see the early-reject kernel
+    // contract in trace/kernels.h).
+    const auto diffScoreHoisted =
+        [&](trace::TraceView candidate, double candidate_peak,
+            trace::TraceView others_diff, double others_peak,
+            std::size_t other_count, double threshold) {
+            if (other_count == 0)
+                return 2.0; // Joining an empty rack can never clash.
+            const double scale =
+                1.0 / static_cast<double>(other_count);
+            const double numerator =
+                candidate_peak + scale * others_peak;
+            const double aggregate_peak =
+                mode == trace::KernelMode::kBlocked
+                    ? trace::peakOfScaledSumBlocked(candidate,
+                                                    others_diff, scale)
+                    : trace::peakOfScaledSumEarlyReject(
+                          candidate, others_diff, scale, numerator,
+                          threshold);
+            if (aggregate_peak <= 0.0)
+                return 0.0; // Zero-power convention.
+            return numerator / aggregate_peak;
+        };
+
+    // Fill a rack's per-member caches (scoreBefore / othersPeak).  Pure
+    // recomputation of values the scan would otherwise re-derive, so
+    // refresh order across racks cannot affect results.
+    const auto refreshCache = [&](RackState &rack) {
+        if (rack.cacheValid)
+            return;
+        const std::size_t count = rack.members.size();
+        rack.scoreBefore.assign(count, 2.0);
+        rack.othersPeak.assign(count, 0.0);
+        const trace::TraceView agg = arena.view(rack.aggRow);
+        const std::size_t others = count - 1;
+        util::parallelFor(count, [&](std::size_t m) {
+            const std::size_t i = rack.members[m];
+            if (others == 0)
+                return; // scoreBefore stays at the 2.0 convention.
+            const trace::TraceView member = arena.view(i);
+            const double others_peak =
+                mode == trace::KernelMode::kBlocked
+                    ? trace::peakOfDiffBlocked(agg, member)
+                    : trace::peakOfDiff(agg, member);
+            rack.othersPeak[m] = others_peak;
+            const double scale = 1.0 / static_cast<double>(others);
+            const double aggregate_peak = peakOfAddScaledDiffMode(
+                mode, member, agg, member, scale);
+            rack.scoreBefore[m] =
+                aggregate_peak <= 0.0
+                    ? 0.0
+                    : (arena.stats(i).peak + scale * others_peak) /
+                          aggregate_peak;
+        });
+        rack.cacheValid = true;
+    };
 
     std::vector<SwapRecord> swaps;
     std::vector<power::NodeId> tried;
@@ -176,20 +255,18 @@ Remapper::refine(power::Assignment &assignment,
             break; // Every rack tried without an accepted swap.
 
         auto &rack_a = racks[worst_rack];
-        // Warm the aggregate peaks serially before the parallel scan.
+        // Refresh member caches serially before the parallel scan; after
+        // the first round only the (at most two) racks the last swap
+        // touched recompute anything.
         for (const auto rack : rack_ids)
             if (!racks[rack].members.empty())
-                racks[rack].aggregate.stats();
+                refreshCache(racks[rack]);
 
         // 2. Members with the worst differential asynchrony scores.
         std::vector<std::pair<double, std::size_t>> scored(
             rack_a.members.size());
-        util::parallelFor(rack_a.members.size(), [&](std::size_t m) {
-            const std::size_t i = rack_a.members[m];
-            scored[m] = {diffScoreFused(itraces[i], rack_a, itraces[i],
-                                        rack_a.members.size() - 1),
-                         i};
-        });
+        for (std::size_t m = 0; m < rack_a.members.size(); ++m)
+            scored[m] = {rack_a.scoreBefore[m], rack_a.members[m]};
         std::sort(scored.begin(), scored.end());
         if (validity != nullptr)
             scored.erase(std::remove_if(scored.begin(), scored.end(),
@@ -199,6 +276,16 @@ Remapper::refine(power::Assignment &assignment,
                          scored.end());
         const std::size_t candidates =
             std::min(config_.candidatesPerRound, scored.size());
+
+        // Hoist the per-candidate "rack A minus leaver" row and its peak
+        // out of the pair scan: one materializing pass per candidate
+        // replaces a peakOfDiff + three-stream fused pass per *pair*.
+        const std::size_t others_a = rack_a.members.size() - 1;
+        std::vector<double> cand_others_peak(candidates, 0.0);
+        for (std::size_t c = 0; c < candidates; ++c)
+            cand_others_peak[c] = trace::diffPeakRow(
+                arena.mutableRow(scratch[c]), arena.view(rack_a.aggRow),
+                arena.view(scored[c].second));
 
         // 3. Best improving swap across all other racks: evaluate every
         // (candidate, rack B) pair independently in parallel, then reduce
@@ -217,6 +304,14 @@ Remapper::refine(power::Assignment &assignment,
                 return;
             const std::size_t inst_a = scored[c].second;
             const double score_a_before = scored[c].first;
+            const trace::TraceView inst_a_row = arena.view(inst_a);
+            const double inst_a_peak = arena.stats(inst_a).peak;
+            const trace::TraceView others_a_row = arena.view(scratch[c]);
+            const trace::TraceView agg_b = arena.view(rack_b.aggRow);
+            const std::size_t others_b = rack_b.members.size() - 1;
+            const double scale_b =
+                others_b == 0 ? 0.0
+                              : 1.0 / static_cast<double>(others_b);
 
             LocalBest &best = local[task];
             for (std::size_t pos_b = 0; pos_b < rack_b.members.size();
@@ -224,24 +319,40 @@ Remapper::refine(power::Assignment &assignment,
                 const std::size_t inst_b = rack_b.members[pos_b];
                 if (!swappable(inst_b))
                     continue;
-                const double score_b_before =
-                    diffScoreFused(itraces[inst_b], rack_b,
-                                   itraces[inst_b],
-                                   rack_b.members.size() - 1);
-                // Post-swap: B joins A's others, A joins B's others.
-                const double score_a_after =
-                    diffScoreFused(itraces[inst_b], rack_a,
-                                   itraces[inst_a],
-                                   rack_a.members.size() - 1);
-                const double score_b_after =
-                    diffScoreFused(itraces[inst_a], rack_b,
-                                   itraces[inst_b],
-                                   rack_b.members.size() - 1);
-                // Accept only swaps improving both nodes (paper rule).
-                if (score_a_after <= score_a_before ||
-                    score_b_after <= score_b_before) {
+                // Post-swap score of B at rack A first: it is the
+                // cheaper pass (two streams against the hoisted row),
+                // and a pair failing the improve-at-A rule skips the
+                // improve-at-B evaluation entirely.  Pure reordering of
+                // the paper's accept test — the accepted set is
+                // unchanged.
+                const double score_a_after = diffScoreHoisted(
+                    arena.view(inst_b), arena.stats(inst_b).peak,
+                    others_a_row, cand_others_peak[c], others_a,
+                    score_a_before);
+                if (score_a_after <= score_a_before)
                     continue;
+                const double score_b_before = rack_b.scoreBefore[pos_b];
+                double score_b_after;
+                if (others_b == 0) {
+                    score_b_after = 2.0;
+                } else {
+                    const double numerator =
+                        inst_a_peak + scale_b * rack_b.othersPeak[pos_b];
+                    const double aggregate_peak =
+                        mode == trace::KernelMode::kBlocked
+                            ? trace::peakOfAddScaledDiffBlocked(
+                                  inst_a_row, agg_b, arena.view(inst_b),
+                                  scale_b)
+                            : trace::peakOfAddScaledDiffEarlyReject(
+                                  inst_a_row, agg_b, arena.view(inst_b),
+                                  scale_b, numerator, score_b_before);
+                    score_b_after = aggregate_peak <= 0.0
+                                        ? 0.0
+                                        : numerator / aggregate_peak;
                 }
+                // Accept only swaps improving both nodes (paper rule).
+                if (score_b_after <= score_b_before)
+                    continue;
                 const double gain = (score_a_after - score_a_before) +
                                     (score_b_after - score_b_before);
                 if (gain > best.gain) {
@@ -273,9 +384,9 @@ Remapper::refine(power::Assignment &assignment,
         if (best_gain > 0.0) {
             // Apply the swap and update both racks' state incrementally.
             SOSIM_COUNT("remap.swaps_accepted");
-            // Four series subtractions/additions plus two peak-sum
-            // adjustments per accepted swap.
-            SOSIM_COUNT_ADD("remap.aggregate_updates", 4);
+            // One fused sub/add-and-max pass per rack row, plus two
+            // peak-sum adjustments.
+            SOSIM_COUNT_ADD("remap.aggregate_updates", 2);
             auto &rack_b = racks[best.rackB];
             auto it_a = std::find(rack_a.members.begin(),
                                   rack_a.members.end(), best.instanceA);
@@ -284,14 +395,18 @@ Remapper::refine(power::Assignment &assignment,
             *it_a = best.instanceB;
             rack_b.members[best_b_pos] = best.instanceA;
 
-            rack_a.aggregate -= itraces[best.instanceA];
-            rack_a.aggregate += itraces[best.instanceB];
-            rack_a.peakSum += itraces[best.instanceB].stats().peak -
-                              itraces[best.instanceA].stats().peak;
-            rack_b.aggregate -= itraces[best.instanceB];
-            rack_b.aggregate += itraces[best.instanceA];
-            rack_b.peakSum += itraces[best.instanceA].stats().peak -
-                              itraces[best.instanceB].stats().peak;
+            rack_a.aggPeak = trace::subAddPeakRow(
+                arena.mutableRow(rack_a.aggRow), arena.view(best.instanceB),
+                arena.view(best.instanceA));
+            rack_a.peakSum += arena.stats(best.instanceB).peak -
+                              arena.stats(best.instanceA).peak;
+            rack_b.aggPeak = trace::subAddPeakRow(
+                arena.mutableRow(rack_b.aggRow), arena.view(best.instanceA),
+                arena.view(best.instanceB));
+            rack_b.peakSum += arena.stats(best.instanceA).peak -
+                              arena.stats(best.instanceB).peak;
+            rack_a.cacheValid = false;
+            rack_b.cacheValid = false;
 
             assignment[best.instanceA] = best.rackB;
             assignment[best.instanceB] = best.rackA;

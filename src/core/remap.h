@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "power/power_tree.h"
+#include "trace/kernels.h"
 #include "trace/time_series.h"
 
 namespace sosim::core {
@@ -35,6 +36,16 @@ struct RemapConfig {
      * validity vector; 0.0 disables the filter.
      */
     double minValidFraction = 0.5;
+    /**
+     * Kernel family for the swap-scan scoring passes.  kStrict (the
+     * default) preserves the reference scan order — refine() results are
+     * bit-identical to the materializing formulation and the golden
+     * pipeline digest.  kBlocked routes the hot passes through the
+     * blocked/SIMD kernels (see trace/kernels.h): peaks stay
+     * bit-identical on finite data, so accepted swaps normally match,
+     * but the contract is only ULP-bounded.
+     */
+    trace::KernelMode kernels = trace::KernelMode::kStrict;
 };
 
 /** One accepted swap, for reporting. */

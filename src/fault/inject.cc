@@ -22,38 +22,39 @@ requireShape(const std::vector<trace::TimeSeries> &traces,
         SOSIM_REQUIRE(t.size() == plan.shape().samplesPerTrace, what);
 }
 
-} // namespace
-
+/**
+ * Storage-agnostic core of injectTraceFaults: `row(i)` yields the
+ * mutable sample pointer of instance i's trace of `n` samples.  Shared
+ * by the TimeSeries-vector and TraceArena entry points, which differ
+ * only in how rows are stored.
+ */
+template <typename RowFn>
 InjectionReport
-injectTraceFaults(std::vector<trace::TimeSeries> &traces,
-                  const FaultPlan &plan)
+injectTraceFaultRows(std::size_t n, RowFn row, const FaultPlan &plan)
 {
-    SOSIM_SPAN("fault.inject_traces");
-    requireShape(traces, plan,
-                 "injectTraceFaults: traces do not match the plan shape");
     InjectionReport report;
 
     // 1. Clock skew: rotate the week (the lost tail wraps around, which
     // is the right model for periodic weekly traces).
     for (const auto &skew : plan.clockSkews()) {
-        auto &ts = traces[skew.instance];
-        const auto n = static_cast<long>(ts.size());
-        long shift = skew.offsetSamples % n;
+        double *ts = row(skew.instance);
+        const auto len = static_cast<long>(n);
+        long shift = skew.offsetSamples % len;
         if (shift < 0)
-            shift += n;
+            shift += len;
         if (shift == 0)
             continue;
-        std::vector<double> rotated(ts.size());
-        for (long i = 0; i < n; ++i)
-            rotated[static_cast<std::size_t>((i + shift) % n)] =
+        std::vector<double> rotated(n);
+        for (long i = 0; i < len; ++i)
+            rotated[static_cast<std::size_t>((i + shift) % len)] =
                 ts[static_cast<std::size_t>(i)];
-        ts = trace::TimeSeries(std::move(rotated), ts.intervalMinutes());
+        std::copy(rotated.begin(), rotated.end(), ts);
         ++report.tracesSkewed;
     }
 
     // 2. Stuck-at windows: the reading at the window start repeats.
     for (const auto &stuck : plan.stuckSensors()) {
-        auto &ts = traces[stuck.instance];
+        double *ts = row(stuck.instance);
         if (stuck.length == 0)
             continue;
         const double held = ts[stuck.firstSample];
@@ -65,7 +66,7 @@ injectTraceFaults(std::vector<trace::TimeSeries> &traces,
     // 3. Dropout gaps to NaN (already-NaN samples are not recounted, so
     // overlapping gaps report the true damage).
     for (const auto &gap : plan.gaps()) {
-        auto &ts = traces[gap.instance];
+        double *ts = row(gap.instance);
         for (std::size_t i = 0; i < gap.length; ++i) {
             double &sample = ts[gap.firstSample + i];
             if (!std::isnan(sample)) {
@@ -77,8 +78,8 @@ injectTraceFaults(std::vector<trace::TimeSeries> &traces,
 
     // 4. Whole-trace losses.
     for (const auto &loss : plan.traceLosses()) {
-        auto &ts = traces[loss.instance];
-        for (std::size_t i = 0; i < ts.size(); ++i) {
+        double *ts = row(loss.instance);
+        for (std::size_t i = 0; i < n; ++i) {
             if (!std::isnan(ts[i])) {
                 ts[i] = kNaN;
                 ++report.samplesDropped;
@@ -92,6 +93,34 @@ injectTraceFaults(std::vector<trace::TimeSeries> &traces,
     SOSIM_COUNT_ADD("fault.traces_lost", report.tracesLost);
     SOSIM_COUNT_ADD("fault.traces_skewed", report.tracesSkewed);
     return report;
+}
+
+} // namespace
+
+InjectionReport
+injectTraceFaults(std::vector<trace::TimeSeries> &traces,
+                  const FaultPlan &plan)
+{
+    SOSIM_SPAN("fault.inject_traces");
+    requireShape(traces, plan,
+                 "injectTraceFaults: traces do not match the plan shape");
+    // The mutable element access invalidates each touched series' stats.
+    return injectTraceFaultRows(
+        plan.shape().samplesPerTrace,
+        [&](std::size_t i) { return &traces[i][0]; }, plan);
+}
+
+InjectionReport
+injectTraceFaults(trace::TraceArena &arena, const FaultPlan &plan)
+{
+    SOSIM_SPAN("fault.inject_traces");
+    SOSIM_REQUIRE(arena.size() == plan.shape().instances &&
+                      arena.samplesPerTrace() ==
+                          plan.shape().samplesPerTrace,
+                  "injectTraceFaults: arena does not match the plan shape");
+    return injectTraceFaultRows(
+        arena.samplesPerTrace(),
+        [&](std::size_t i) { return arena.mutableRow(i); }, plan);
 }
 
 InjectionReport

@@ -25,6 +25,7 @@
 
 #include "fault/fault_plan.h"
 #include "power/power_tree.h"
+#include "trace/arena.h"
 #include "trace/time_series.h"
 
 namespace sosim::fault {
@@ -55,6 +56,16 @@ struct InjectionReport {
 InjectionReport
 injectTraceFaults(std::vector<trace::TimeSeries> &traces,
                   const FaultPlan &plan);
+
+/**
+ * Arena overload: apply the same trace-level faults to the rows of a
+ * trace::TraceArena in place (row id == plan instance index).  Fault
+ * semantics, ordering and counters are identical to the TimeSeries
+ * overload; the monitor uses this to degrade an arena copy of the live
+ * week without unpacking it into individual series.
+ */
+InjectionReport
+injectTraceFaults(trace::TraceArena &arena, const FaultPlan &plan);
 
 /**
  * Apply the plan's breaker-trip events: for each trip, the target rack

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "power/level.h"
+#include "trace/kernels.h"
 #include "trace/time_series.h"
 
 namespace sosim::power {
@@ -110,6 +111,16 @@ class PowerTree
      */
     std::vector<trace::TimeSeries>
     aggregateTraces(const std::vector<trace::TimeSeries> &instance_traces,
+                    const Assignment &assignment) const;
+
+    /**
+     * View overload: aggregate from non-owning trace views (e.g. the
+     * rows of a trace::TraceArena) instead of owned series.  Sample-wise
+     * identical results to the TimeSeries overload — only the storage
+     * of the inputs differs.
+     */
+    std::vector<trace::TimeSeries>
+    aggregateTraces(const std::vector<trace::TraceView> &instance_traces,
                     const Assignment &assignment) const;
 
     /**

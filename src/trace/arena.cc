@@ -1,0 +1,163 @@
+#include "arena.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace sosim::trace {
+
+namespace {
+
+/** Round n up to a multiple of the row alignment, in doubles. */
+std::size_t
+paddedStride(std::size_t samples)
+{
+    const std::size_t unit = TraceArena::kAlignDoubles;
+    return (samples + unit - 1) / unit * unit;
+}
+
+double *
+allocateRows(std::size_t capacity, std::size_t stride)
+{
+    if (capacity == 0 || stride == 0)
+        return nullptr;
+    // aligned_alloc requires the size to be a multiple of the alignment;
+    // the stride already is, in doubles.
+    const std::size_t bytes = capacity * stride * sizeof(double);
+    void *p = std::aligned_alloc(TraceArena::kAlignBytes, bytes);
+    SOSIM_REQUIRE(p != nullptr, "TraceArena: allocation failed");
+    std::memset(p, 0, bytes);
+    return static_cast<double *>(p);
+}
+
+} // namespace
+
+void
+TraceArena::AlignedFree::operator()(double *p) const
+{
+    std::free(p);
+}
+
+TraceArena::TraceArena(std::size_t capacity, std::size_t samples_per_trace,
+                       int interval_minutes)
+    : capacity_(capacity), samples_(samples_per_trace),
+      stride_(paddedStride(samples_per_trace)),
+      intervalMinutes_(interval_minutes)
+{
+    SOSIM_REQUIRE(samples_per_trace >= 1,
+                  "TraceArena: samples_per_trace must be >= 1");
+    SOSIM_REQUIRE(interval_minutes >= 1,
+                  "TraceArena: interval_minutes must be >= 1");
+    data_.reset(allocateRows(capacity_, stride_));
+    stats_.resize(capacity_);
+    statsValid_.assign(capacity_, 0);
+}
+
+TraceArena
+TraceArena::fromSeries(const std::vector<TimeSeries> &series,
+                       std::size_t extra_rows)
+{
+    SOSIM_REQUIRE(!series.empty() && !series.front().empty(),
+                  "TraceArena::fromSeries: need at least one non-empty "
+                  "series");
+    TraceArena arena(series.size() + extra_rows, series.front().size(),
+                     series.front().intervalMinutes());
+    for (const auto &s : series)
+        arena.addTrace(s);
+    return arena;
+}
+
+TraceArena::TraceArena(const TraceArena &other)
+    : capacity_(other.capacity_), samples_(other.samples_),
+      stride_(other.stride_), rows_(other.rows_),
+      intervalMinutes_(other.intervalMinutes_), stats_(other.stats_),
+      statsValid_(other.statsValid_)
+{
+    data_.reset(allocateRows(capacity_, stride_));
+    if (data_ != nullptr)
+        std::memcpy(data_.get(), other.data_.get(),
+                    capacity_ * stride_ * sizeof(double));
+}
+
+TraceArena &
+TraceArena::operator=(const TraceArena &other)
+{
+    if (this == &other)
+        return *this;
+    TraceArena copy(other);
+    *this = std::move(copy);
+    return *this;
+}
+
+TraceId
+TraceArena::addTrace(TraceView v)
+{
+    SOSIM_REQUIRE(alignedWith(v),
+                  "TraceArena::addTrace: view shape does not match arena");
+    const TraceId id = addZeros();
+    std::memcpy(data_.get() + id * stride_, v.data(),
+                samples_ * sizeof(double));
+    return id;
+}
+
+TraceId
+TraceArena::addZeros()
+{
+    SOSIM_REQUIRE(rows_ < capacity_, "TraceArena: capacity exhausted");
+    // Rows are zero-initialized at allocation and never removed, so the
+    // claimed row (and its padding tail) is already all zeros.
+    return rows_++;
+}
+
+double *
+TraceArena::mutableRow(TraceId id)
+{
+    SOSIM_REQUIRE(id < rows_, "TraceArena: row id out of range");
+    statsValid_[id] = 0;
+    return data_.get() + id * stride_;
+}
+
+void
+TraceArena::assignRow(TraceId id, TraceView v)
+{
+    SOSIM_REQUIRE(alignedWith(v),
+                  "TraceArena::assignRow: view shape does not match arena");
+    std::memcpy(mutableRow(id), v.data(), samples_ * sizeof(double));
+}
+
+const TraceStats &
+TraceArena::stats(TraceId id) const
+{
+    SOSIM_REQUIRE(id < rows_, "TraceArena: row id out of range");
+    if (!statsValid_[id]) {
+        stats_[id] = computeStats(view(id));
+        statsValid_[id] = 1;
+    }
+    return stats_[id];
+}
+
+void
+TraceArena::invalidateStats(TraceId id)
+{
+    SOSIM_REQUIRE(id < rows_, "TraceArena: row id out of range");
+    statsValid_[id] = 0;
+}
+
+TimeSeries
+TraceArena::toSeries(TraceId id) const
+{
+    SOSIM_REQUIRE(id < rows_, "TraceArena: row id out of range");
+    const double *p = rowPtr(id);
+    return TimeSeries(std::vector<double>(p, p + samples_),
+                      intervalMinutes_);
+}
+
+const double *
+TraceArena::rowPtr(TraceId id) const
+{
+    SOSIM_REQUIRE(id < rows_, "TraceArena: row id out of range");
+    return data_.get() + id * stride_;
+}
+
+} // namespace sosim::trace

@@ -1,0 +1,164 @@
+#ifndef SOSIM_TRACE_ARENA_H
+#define SOSIM_TRACE_ARENA_H
+
+/**
+ * @file
+ * Structure-of-arrays trace storage: every trace of a population lives in
+ * one contiguous, 64-byte-aligned buffer.
+ *
+ * A scattered std::vector<TimeSeries> puts each week of samples behind its
+ * own heap allocation, so population-scale loops (scoring fan-outs, the
+ * remap swap scan) chase a pointer per trace and the prefetcher restarts
+ * at every row.  The arena lays the rows out back to back, padded to a
+ * 64-byte multiple, so
+ *
+ *   - TraceView over a row is an offset computation, not a pointer chase;
+ *   - every row starts cache-line- (and AVX-512-) aligned, which is what
+ *     the blocked kernels in trace/kernels.h want;
+ *   - a whole population copies with one memcpy (fault injection and gap
+ *     repair degrade arena *copies* instead of re-allocating a scattered
+ *     bundle).
+ *
+ * Rows are identified by a stable TraceId (the insertion index); the
+ * TraceId -> row mapping never changes once a row is added, so long-lived
+ * consumers (core::remap keeps per-rack running-sum rows here) can hold
+ * ids across mutations.  Per-row summary stats are cached lazily exactly
+ * like TimeSeries::stats() and invalidated by mutableRow(); the same
+ * warm-serially-before-sharing threading contract applies (see
+ * time_series.h).
+ *
+ * Layout and ordering contract: DESIGN.md section 10.
+ */
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "trace/kernels.h"
+#include "trace/time_series.h"
+
+namespace sosim::trace {
+
+/** Stable index of a row in a TraceArena (insertion order). */
+using TraceId = std::size_t;
+
+/**
+ * A fixed-capacity structure-of-arrays store of equally-shaped traces.
+ *
+ * Capacity, sample count and interval are fixed at construction; rows are
+ * appended up to the capacity and never removed.  Value semantics: copies
+ * are deep (one allocation + one memcpy).
+ */
+class TraceArena
+{
+  public:
+    /** Row alignment in bytes (one cache line; 8 doubles). */
+    static constexpr std::size_t kAlignBytes = 64;
+    /** Doubles per alignment unit; rows are padded to a multiple. */
+    static constexpr std::size_t kAlignDoubles =
+        kAlignBytes / sizeof(double);
+
+    /**
+     * An empty arena with room for `capacity` rows of
+     * `samples_per_trace` samples at `interval_minutes`.
+     */
+    TraceArena(std::size_t capacity, std::size_t samples_per_trace,
+               int interval_minutes);
+
+    /**
+     * Build an arena holding a copy of every series of a bundle (row i ==
+     * series i), with `extra_rows` spare zero-initialized capacity for
+     * caller-managed scratch/aggregate rows.  All series must be aligned
+     * with each other and non-empty.
+     */
+    static TraceArena fromSeries(const std::vector<TimeSeries> &series,
+                                 std::size_t extra_rows = 0);
+
+    TraceArena(const TraceArena &other);
+    TraceArena &operator=(const TraceArena &other);
+    TraceArena(TraceArena &&other) noexcept = default;
+    TraceArena &operator=(TraceArena &&other) noexcept = default;
+
+    /** Copy a trace into the next free row; returns its stable id. */
+    TraceId addTrace(TraceView v);
+
+    /** Claim the next free row zero-filled (running sums, scratch). */
+    TraceId addZeros();
+
+    /** Rows in use. */
+    std::size_t size() const { return rows_; }
+
+    /** True when no rows are in use. */
+    bool empty() const { return rows_ == 0; }
+
+    /** Maximum number of rows. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Samples per row (the unpadded, logical trace length). */
+    std::size_t samplesPerTrace() const { return samples_; }
+
+    /** Doubles from one row's start to the next (includes padding). */
+    std::size_t rowStride() const { return stride_; }
+
+    /** Sampling interval of every row, in minutes. */
+    int intervalMinutes() const { return intervalMinutes_; }
+
+    /** Non-owning view of a row (lifetime: the arena). */
+    TraceView view(TraceId id) const
+    {
+        return TraceView(rowPtr(id), samples_, intervalMinutes_);
+    }
+
+    /** Read-only raw row pointer (64-byte aligned). */
+    const double *row(TraceId id) const { return rowPtr(id); }
+
+    /**
+     * Mutable raw row pointer; invalidates that row's cached stats.  The
+     * padding tail beyond samplesPerTrace() must stay zero.
+     */
+    double *mutableRow(TraceId id);
+
+    /** Overwrite a row from a view (must be aligned with the arena). */
+    void assignRow(TraceId id, TraceView v);
+
+    /**
+     * Cached one-pass summary stats of a row, identical to
+     * computeStats(view(id)) (same scan order, bit for bit).  Lazily
+     * filled; see the threading note in the file comment.
+     */
+    const TraceStats &stats(TraceId id) const;
+
+    /** Drop a row's cached stats (after external mutation). */
+    void invalidateStats(TraceId id);
+
+    /** Materialize a row as an owning TimeSeries (round-trip helper). */
+    TimeSeries toSeries(TraceId id) const;
+
+    /** True when a view's shape matches this arena's rows. */
+    bool alignedWith(TraceView v) const
+    {
+        return v.size() == samples_ &&
+               v.intervalMinutes() == intervalMinutes_;
+    }
+
+  private:
+    struct AlignedFree {
+        void operator()(double *p) const;
+    };
+
+    const double *rowPtr(TraceId id) const;
+
+    std::unique_ptr<double[], AlignedFree> data_;
+    std::size_t capacity_ = 0;
+    std::size_t samples_ = 0;
+    std::size_t stride_ = 0;
+    std::size_t rows_ = 0;
+    int intervalMinutes_ = 1;
+    /** Lazily-filled per-row stats; statsValid_[id] is the flag. */
+    mutable std::vector<TraceStats> stats_;
+    mutable std::vector<unsigned char> statsValid_;
+};
+
+} // namespace sosim::trace
+
+#endif // SOSIM_TRACE_ARENA_H

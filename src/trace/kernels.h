@@ -19,10 +19,13 @@
  */
 
 #include <cstddef>
+#include <vector>
 
 #include "trace/time_series.h"
 
 namespace sosim::trace {
+
+class TraceArena; // trace/arena.h
 
 /**
  * A non-owning view of a trace: a span of samples plus the sampling
@@ -155,6 +158,37 @@ double peakOfDiff(TraceView a, TraceView b);
 double peakOfAddScaledDiff(TraceView c, TraceView a, TraceView b,
                            double scale);
 
+/*
+ * Early-reject peak kernels: the swap scan in core::remap computes
+ * `score = numerator / peak(...)` only to test `score <= threshold` and
+ * discard the candidate.  Because the running max never decreases and
+ * IEEE division is monotone in its denominator, the test's outcome is
+ * decided the moment the *prefix* peak alone drives the score to or
+ * below the threshold — the rest of the scan cannot change the
+ * decision.  These variants check that condition every few dozen
+ * elements (only while the prefix peak is positive, so the zero-power
+ * branch is untouched) and abort the scan once rejection is proven.
+ *
+ * Contract: the returned value is bit-identical to the plain kernel
+ * whenever `numerator / result > threshold` (the accept case, where the
+ * caller uses the value); on an aborted scan the returned prefix peak
+ * still yields `numerator / result <= threshold`, so the caller's
+ * accept test takes the identical branch.  Decisions are therefore
+ * exactly those of the full-scan kernels.  Internally each chunk runs
+ * through the dispatched blocked kernels (see below), so like that
+ * family these variants require finite inputs — exactly what
+ * core::remap::refine guarantees for its gap-free traces.
+ */
+
+/** peakOfScaledSum with early rejection (see the contract above). */
+double peakOfScaledSumEarlyReject(TraceView a, TraceView b, double scale,
+                                  double numerator, double threshold);
+
+/** peakOfAddScaledDiff with early rejection (see the contract above). */
+double peakOfAddScaledDiffEarlyReject(TraceView c, TraceView a,
+                                      TraceView b, double scale,
+                                      double numerator, double threshold);
+
 /**
  * Element-wise accumulate `src` into `dst` and return the peak of the
  * *updated* dst, in one fused pass.  This is the building block of
@@ -164,6 +198,116 @@ double peakOfAddScaledDiff(TraceView c, TraceView a, TraceView b,
  * @return Peak of dst after the accumulation.
  */
 double accumulatePeak(TimeSeries &dst, TraceView src);
+
+/**
+ * Raw-row form of accumulatePeak for arena rows: dst[i] += src[i] with a
+ * fused max-scan of the updated row.  Same operations in the same order
+ * as accumulatePeak; the caller owns stats invalidation.
+ */
+double accumulatePeakRow(double *dst, TraceView src);
+
+/**
+ * Fused swap application for running-sum rows:
+ * dst[i] = (dst[i] - sub[i]) + add[i], returning the peak of the updated
+ * row in the same pass.  Element-wise this is exactly the two-pass
+ * `dst -= sub; dst += add` it replaces (each element sees the identical
+ * rounding sequence), so results are bit-identical; the fusion only saves
+ * a memory pass.  One call per affected rack applies a member swap.
+ */
+double subAddPeakRow(double *dst, TraceView add, TraceView sub);
+
+/**
+ * Materialize dst[i] = a[i] - b[i] and return the peak of dst in the
+ * same pass (strict scan order).  core::remap uses this to hoist the
+ * per-candidate "rack minus leaver" row out of the swap inner loop.
+ */
+double diffPeakRow(double *dst, TraceView a, TraceView b);
+
+/*
+ * ── Blocked kernels ──────────────────────────────────────────────────
+ *
+ * The strict kernels above scan with a single sequential accumulator, a
+ * loop shape whose loop-carried compare keeps the compiler from using
+ * wide max instructions.  The *blocked* variants below break the scan
+ * into independent accumulator lanes so they auto-vectorize (and, when
+ * compiled with SOSIM_NATIVE on x86-64, dispatch at runtime to an AVX2
+ * path — see kernelIsaName()).
+ *
+ * Contract: on finite inputs every blocked peak kernel returns a value
+ * bit-identical to its strict sibling — a max-reduction is insensitive
+ * to association, and the element expressions apply the identical IEEE
+ * operations (the AVX2 path deliberately uses separate mul/add, never
+ * FMA).  Sum-style reductions (ValidStats::stats.sum / .mean) DO change
+ * association and are only ULP-bounded; that is why consumers gate the
+ * blocked family behind an explicit KernelMode flag instead of swapping
+ * it in silently.  Non-finite samples are the other difference: strict
+ * kernels reproduce the reference NaN propagation, blocked peak kernels
+ * require finite data (the *Valid variants are the NaN-aware blocked
+ * entry points).  tests/test_arena.cc pins both properties.
+ */
+
+/**
+ * Which kernel family a consumer routes hot scoring loops through.
+ * kStrict (default everywhere) preserves the reference scan order and
+ * bit-exact results; kBlocked enables the blocked/SIMD variants above
+ * (ULP-bounded where a sum reduction is involved, bit-identical for
+ * peaks on finite data).
+ */
+enum class KernelMode { kStrict, kBlocked };
+
+/** Printable mode name ("strict", "blocked"). */
+const char *kernelModeName(KernelMode mode);
+
+/**
+ * ISA the blocked kernels dispatch to at runtime: "avx2" when compiled
+ * with SOSIM_NATIVE, running on AVX2 hardware and not disabled via the
+ * environment variable SOSIM_NATIVE=0; otherwise "generic" (portable
+ * multi-accumulator loops).  Resolved once, on first use.
+ */
+const char *kernelIsaName();
+
+/** Blocked peak(a + b); finite inputs.  See the contract above. */
+double peakOfSumBlocked(TraceView a, TraceView b);
+
+/** Blocked peak(a + s*b); finite inputs. */
+double peakOfScaledSumBlocked(TraceView a, TraceView b, double scale);
+
+/** Blocked peak(a - b); finite inputs. */
+double peakOfDiffBlocked(TraceView a, TraceView b);
+
+/** Blocked peak(c + s*(a - b)); finite inputs. */
+double peakOfAddScaledDiffBlocked(TraceView c, TraceView a, TraceView b,
+                                  double scale);
+
+/**
+ * Blocked gap-aware peak(a + b): identical results to peakOfSumValid on
+ * every input (the max over valid positions does not depend on scan
+ * association, and the valid count is integer-exact).
+ */
+double peakOfSumValidBlocked(TraceView a, TraceView b,
+                             std::size_t *valid_count = nullptr);
+
+/**
+ * Blocked NaN-skipping stats.  peak, valley, validSamples and peakIndex
+ * (first index attaining the maximum) are identical to
+ * computeValidStats; sum and mean are ULP-bounded (lane-partitioned
+ * accumulation changes the addition order).
+ */
+ValidStats computeValidStatsBlocked(TraceView v);
+
+/** Blocked count of finite samples (exact). */
+std::size_t countValid(TraceView v);
+
+/**
+ * Batched peak-of-sum over two arenas: out[i * straces.size() + j] =
+ * peak(itraces row i + straces row j), computed with the blocked
+ * kernels, rows fanned out via util::parallelFor with per-slot writes
+ * (bit-identical for any thread count).  This is the raw kernel under
+ * the blocked population embedding (core::scoreVectorsBlocked), which
+ * turns the peaks into Eq. 7 pair scores.
+ */
+std::vector<double> scoreVectorsBatch(const TraceArena &itraces,
+                                      const TraceArena &straces);
 
 } // namespace sosim::trace
 

@@ -69,6 +69,14 @@ struct RepairResult {
 };
 
 /**
+ * Fill the NaN gaps of a raw sample span in place under a policy — the
+ * storage-agnostic core of repairSeries, shared by the TimeSeries and
+ * TraceArena entry points.
+ */
+RepairResult repairSpan(double *samples, std::size_t n,
+                        RepairPolicy policy);
+
+/**
  * Fill the NaN gaps of one series in place under a policy.
  *
  * RepairPolicy::None only measures (the series is untouched); the other
@@ -100,6 +108,14 @@ struct RepairSummary {
  */
 RepairSummary repairAll(std::vector<TimeSeries> &traces,
                         RepairPolicy policy);
+
+/**
+ * Arena overload: repair every row of a TraceArena in place.  Same
+ * policies, same counters, same per-row results as the TimeSeries
+ * overload — the rows are just contiguous instead of individually owned.
+ * Each repaired row's cached stats are invalidated.
+ */
+RepairSummary repairAll(TraceArena &arena, RepairPolicy policy);
 
 } // namespace sosim::trace
 

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Benchmark regression gate: compare a fresh bench_report JSON document
+ * against a committed baseline and fail when a metric got slower than an
+ * allowed tolerance.  Usage:
+ *
+ *   bench_compare BASELINE.json CURRENT.json
+ *                 [--max-regress PCT] [--metrics name1,name2,...]
+ *                 [--min-ms MS]
+ *
+ * Rows are matched by (name, population).  For every matched row both
+ * fused_ms and pooled_ms are compared; a relative slowdown beyond
+ * --max-regress percent (default 25) fails the gate, as does a baseline
+ * row that disappeared from the current document.  Rows that only exist
+ * in the current document are reported but never fail — new benchmarks
+ * must be able to land together with their first baseline.
+ *
+ * Timings whose baseline is below --min-ms (default 2.0) are reported
+ * but not gated: at sub-millisecond scale, scheduler jitter on a busy
+ * runner swings individual measurements by integer factors, and a
+ * relative gate on them is pure noise.  Regressions that matter show
+ * up in the larger-population rows of the same benchmark.
+ *
+ * --metrics restricts the gate to a comma-separated set of row names
+ * (unmatched names in the filter are an error, so a typo cannot
+ * silently disable the gate).
+ *
+ * The parser reads exactly the schema bench_report writes; it is not a
+ * general JSON reader.
+ *
+ * CI wiring and the baseline update procedure are documented in
+ * README.md ("CI jobs") and EXPERIMENTS.md: regenerate the baseline
+ * with `bench_report --repeats 5 --out BENCH_<tag>.json` on a quiet
+ * machine and commit it together with the change that moved the
+ * numbers.
+ */
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row {
+    std::string name;
+    long population = 0;
+    double fusedMs = -1.0;
+    double pooledMs = -1.0;
+};
+
+/** Key uniquely identifying a measurement across documents. */
+std::string
+keyOf(const Row &row)
+{
+    return row.name + "/" + std::to_string(row.population);
+}
+
+/**
+ * Pull the value after `"field":` out of one JSON object body.  Returns
+ * an empty string when the field is absent.
+ */
+std::string
+rawField(const std::string &object, const std::string &field)
+{
+    const std::string needle = "\"" + field + "\":";
+    const auto at = object.find(needle);
+    if (at == std::string::npos)
+        return "";
+    std::size_t begin = at + needle.size();
+    while (begin < object.size() &&
+           std::isspace(static_cast<unsigned char>(object[begin])))
+        ++begin;
+    std::size_t end = begin;
+    if (end < object.size() && object[end] == '"') {
+        ++end;
+        while (end < object.size() && object[end] != '"')
+            ++end;
+        return object.substr(begin + 1, end - begin - 1);
+    }
+    while (end < object.size() && object[end] != ',' &&
+           object[end] != '}')
+        ++end;
+    return object.substr(begin, end - begin);
+}
+
+/** Parse the result rows of a bench_report document. */
+std::vector<Row>
+parseReport(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file) {
+        std::cerr << "bench_compare: cannot read " << path << "\n";
+        std::exit(2);
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const std::string text = buffer.str();
+
+    const auto results = text.find("\"results\"");
+    if (results == std::string::npos) {
+        std::cerr << "bench_compare: " << path
+                  << " has no \"results\" array\n";
+        std::exit(2);
+    }
+
+    std::vector<Row> rows;
+    std::size_t cursor = text.find('[', results);
+    while (cursor != std::string::npos) {
+        const auto open = text.find('{', cursor);
+        if (open == std::string::npos)
+            break;
+        const auto close = text.find('}', open);
+        if (close == std::string::npos)
+            break;
+        const std::string object = text.substr(open, close - open + 1);
+        Row row;
+        row.name = rawField(object, "name");
+        const std::string population = rawField(object, "population");
+        const std::string fused = rawField(object, "fused_ms");
+        const std::string pooled = rawField(object, "pooled_ms");
+        if (!row.name.empty() && !population.empty() && !fused.empty() &&
+            !pooled.empty()) {
+            row.population = std::strtol(population.c_str(), nullptr, 10);
+            row.fusedMs = std::strtod(fused.c_str(), nullptr);
+            row.pooledMs = std::strtod(pooled.c_str(), nullptr);
+            rows.push_back(row);
+        }
+        cursor = close + 1;
+    }
+    if (rows.empty()) {
+        std::cerr << "bench_compare: " << path
+                  << " contains no benchmark rows\n";
+        std::exit(2);
+    }
+    return rows;
+}
+
+/** Relative slowdown of current vs baseline, in percent. */
+double
+regressionPct(double baseline_ms, double current_ms)
+{
+    if (baseline_ms <= 0.0)
+        return 0.0;
+    return (current_ms - baseline_ms) / baseline_ms * 100.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    double max_regress = 25.0;
+    double min_ms = 2.0;
+    std::set<std::string> filter;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_compare: " << flag
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--max-regress") {
+            max_regress = std::strtod(next("--max-regress").c_str(),
+                                      nullptr);
+        } else if (arg == "--min-ms") {
+            min_ms = std::strtod(next("--min-ms").c_str(), nullptr);
+        } else if (arg == "--metrics") {
+            std::stringstream names(next("--metrics"));
+            std::string name;
+            while (std::getline(names, name, ','))
+                if (!name.empty())
+                    filter.insert(name);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "usage: bench_compare BASELINE.json CURRENT.json "
+                         "[--max-regress PCT] [--metrics n1,n2,...] "
+                         "[--min-ms MS]\n";
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2) {
+        std::cerr << "bench_compare: need exactly a baseline and a "
+                     "current report (got "
+                  << files.size() << " files)\n";
+        return 2;
+    }
+
+    const auto baseline = parseReport(files[0]);
+    const auto current = parseReport(files[1]);
+    std::map<std::string, Row> current_by_key;
+    for (const auto &row : current)
+        current_by_key[keyOf(row)] = row;
+
+    // A filter name that matches nothing is a configuration error — a
+    // typo must not silently disable the gate.
+    for (const auto &name : filter) {
+        bool known = false;
+        for (const auto &row : baseline)
+            known = known || row.name == name;
+        if (!known) {
+            std::cerr << "bench_compare: --metrics name '" << name
+                      << "' matches no baseline row\n";
+            return 2;
+        }
+    }
+
+    int failures = 0;
+    std::set<std::string> seen;
+    for (const auto &base : baseline) {
+        if (!filter.empty() && filter.count(base.name) == 0)
+            continue;
+        const std::string key = keyOf(base);
+        seen.insert(key);
+        const auto found = current_by_key.find(key);
+        if (found == current_by_key.end()) {
+            std::cout << "FAIL " << key << ": missing from "
+                      << files[1] << "\n";
+            ++failures;
+            continue;
+        }
+        const Row &cur = found->second;
+        const double fused = regressionPct(base.fusedMs, cur.fusedMs);
+        const double pooled = regressionPct(base.pooledMs, cur.pooledMs);
+        // Baselines below the floor are jitter-dominated: report only.
+        const bool gate_fused = base.fusedMs >= min_ms;
+        const bool gate_pooled = base.pooledMs >= min_ms;
+        const bool bad = (gate_fused && fused > max_regress) ||
+                         (gate_pooled && pooled > max_regress);
+        const char *tag = bad                          ? "FAIL "
+                          : !gate_fused && !gate_pooled ? "skip "
+                                                        : "ok   ";
+        std::cout << tag << key << ": fused " << base.fusedMs << " -> "
+                  << cur.fusedMs << " ms (" << (fused >= 0 ? "+" : "")
+                  << fused << "%" << (gate_fused ? "" : ", ungated")
+                  << "), pooled " << base.pooledMs << " -> "
+                  << cur.pooledMs << " ms (" << (pooled >= 0 ? "+" : "")
+                  << pooled << "%" << (gate_pooled ? "" : ", ungated")
+                  << ")\n";
+        if (bad)
+            ++failures;
+    }
+    for (const auto &cur : current)
+        if (seen.count(keyOf(cur)) == 0 &&
+            (filter.empty() || filter.count(cur.name) != 0))
+            std::cout << "new  " << keyOf(cur)
+                      << ": no baseline row (not gated)\n";
+
+    if (failures > 0) {
+        std::cout << failures << " metric(s) regressed more than "
+                  << max_regress << "% — see README.md (CI jobs) for "
+                  << "the baseline update procedure\n";
+        return 1;
+    }
+    std::cout << "all gated metrics within " << max_regress
+              << "% of baseline\n";
+    return 0;
+}

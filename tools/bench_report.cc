@@ -8,8 +8,11 @@
  * commit over commit.  Usage:
  *
  *   bench_report [--out BENCH_report.json] [--label some-tag]
- *                [--threads N] [--repeats R] [--metrics-out FILE]
- *                [--fault-plan SEED[:PROFILE]]
+ *                [--threads N] [--repeats R] [--json]
+ *                [--metrics-out FILE] [--fault-plan SEED[:PROFILE]]
+ *
+ * --json additionally prints the JSON document to stdout (the CI
+ * bench-regression job pipes it into the build log).
  *
  * --fault-plan degrades the benchmark inputs with a deterministic
  * fault schedule (injected, then repaired; see src/fault) so the hot
@@ -36,6 +39,7 @@
 #include "fault/fault_plan.h"
 #include "fault/inject.h"
 #include "obs/export.h"
+#include "trace/kernels.h"
 #include "trace/repair.h"
 #include "core/asynchrony.h"
 #include "core/placement.h"
@@ -102,6 +106,12 @@ struct Measurement {
     double referenceMs = -1.0;
     double fusedMs = 0.0;
     double pooledMs = 0.0;
+    // Real pool sizes while the fused / pooled timings ran, read back
+    // from util::threadCount() at measurement time.  The top-level
+    // "pool_threads" field only records the *requested* pooled width;
+    // these per-row fields record what each timing actually used.
+    std::size_t fusedThreads = 1;
+    std::size_t pooledThreads = 1;
 };
 
 void
@@ -117,6 +127,7 @@ writeJson(std::ostream &os, const std::vector<Measurement> &rows,
     os << "  \"label\": \"" << label << "\",\n";
     os << "  \"timestamp_utc\": \"" << stamp << "\",\n";
     os << "  \"pool_threads\": " << pool_threads << ",\n";
+    os << "  \"kernel_isa\": \"" << trace::kernelIsaName() << "\",\n";
     os << "  \"repeats\": " << repeats << ",\n";
     os << "  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -132,6 +143,8 @@ writeJson(std::ostream &os, const std::vector<Measurement> &rows,
             os << "null";
         os << ", \"fused_ms\": " << m.fusedMs << ", "
            << "\"pooled_ms\": " << m.pooledMs << ", "
+           << "\"fused_threads\": " << m.fusedThreads << ", "
+           << "\"pooled_threads\": " << m.pooledThreads << ", "
            << "\"speedup_fused\": ";
         if (has_ref && m.fusedMs > 0.0)
             os << m.referenceMs / m.fusedMs;
@@ -159,6 +172,7 @@ main(int argc, char **argv)
     std::string label = "dev";
     std::size_t pool_threads = util::threadCount();
     int repeats = 5;
+    bool json_stdout = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&](const char *flag) -> std::string {
@@ -181,9 +195,11 @@ main(int argc, char **argv)
             repeats = std::stoi(next("--repeats"));
         else if (arg == "--fault-plan")
             fault_plan = next("--fault-plan");
+        else if (arg == "--json")
+            json_stdout = true;
         else {
             std::cerr << "usage: bench_report [--out FILE] [--label TAG] "
-                         "[--threads N] [--repeats R] "
+                         "[--threads N] [--repeats R] [--json] "
                          "[--metrics-out FILE] "
                          "[--fault-plan SEED[:PROFILE]]\n";
             return 2;
@@ -226,19 +242,36 @@ main(int argc, char **argv)
             core::reference::scoreVectors(traces, straces.straces);
         });
         util::setThreadCount(1);
+        sv.fusedThreads = util::threadCount();
         sv.fusedMs = bestMs(repeats, [&] {
             core::scoreVectors(traces, straces.straces);
         });
         util::setThreadCount(pool_threads);
+        sv.pooledThreads = util::threadCount();
         sv.pooledMs = bestMs(repeats, [&] {
             core::scoreVectors(traces, straces.straces);
         });
         rows.push_back(sv);
 
+        Measurement svb{"scoreVectorsBlocked", population, samples};
+        svb.referenceMs = sv.referenceMs;
+        util::setThreadCount(1);
+        svb.fusedThreads = util::threadCount();
+        svb.fusedMs = bestMs(repeats, [&] {
+            core::scoreVectorsBlocked(traces, straces.straces);
+        });
+        util::setThreadCount(pool_threads);
+        svb.pooledThreads = util::threadCount();
+        svb.pooledMs = bestMs(repeats, [&] {
+            core::scoreVectorsBlocked(traces, straces.straces);
+        });
+        rows.push_back(svb);
+
         Measurement pl{"placementEndToEnd", population, samples};
         core::PlacementConfig ref_config;
         ref_config.scoring = core::ScoringImpl::kReference;
         util::setThreadCount(1);
+        pl.fusedThreads = util::threadCount();
         pl.referenceMs = bestMs(repeats, [&] {
             core::PlacementEngine(tree, ref_config)
                 .place(traces, service_of);
@@ -247,6 +280,7 @@ main(int argc, char **argv)
             core::PlacementEngine(tree, {}).place(traces, service_of);
         });
         util::setThreadCount(pool_threads);
+        pl.pooledThreads = util::threadCount();
         pl.pooledMs = bestMs(repeats, [&] {
             core::PlacementEngine(tree, {}).place(traces, service_of);
         });
@@ -258,16 +292,37 @@ main(int argc, char **argv)
         rc.maxSwaps = 16;
         core::Remapper remapper(tree, rc);
         util::setThreadCount(1);
+        rm.fusedThreads = util::threadCount();
         rm.fusedMs = bestMs(repeats, [&] {
             power::Assignment assignment = start;
             remapper.refine(assignment, traces);
         });
         util::setThreadCount(pool_threads);
+        rm.pooledThreads = util::threadCount();
         rm.pooledMs = bestMs(repeats, [&] {
             power::Assignment assignment = start;
             remapper.refine(assignment, traces);
         });
         rows.push_back(rm);
+
+        Measurement rmb{"remapRefineBlocked", population, samples};
+        core::RemapConfig rcb;
+        rcb.maxSwaps = 16;
+        rcb.kernels = trace::KernelMode::kBlocked;
+        core::Remapper remapper_blocked(tree, rcb);
+        util::setThreadCount(1);
+        rmb.fusedThreads = util::threadCount();
+        rmb.fusedMs = bestMs(repeats, [&] {
+            power::Assignment assignment = start;
+            remapper_blocked.refine(assignment, traces);
+        });
+        util::setThreadCount(pool_threads);
+        rmb.pooledThreads = util::threadCount();
+        rmb.pooledMs = bestMs(repeats, [&] {
+            power::Assignment assignment = start;
+            remapper_blocked.refine(assignment, traces);
+        });
+        rows.push_back(rmb);
     }
     util::setThreadCount(0);
 
@@ -278,7 +333,8 @@ main(int argc, char **argv)
         return 1;
     }
     writeJson(file, rows, label, pool_threads, repeats);
-    writeJson(std::cout, rows, label, pool_threads, repeats);
+    if (json_stdout)
+        writeJson(std::cout, rows, label, pool_threads, repeats);
 
     if (!metrics_out.empty()) {
         std::ofstream mfile(metrics_out);
