@@ -10,17 +10,25 @@
  * held-out test week, so the numbers isolate what bad inputs cost the
  * placement decision itself.  A validity-gated remap pass shows the
  * swap filter's contribution on top.
+ *
+ * The sweep drives the report pipeline as an op graph.  Each degraded
+ * variant overlays the training-trace input with a pre-injected copy
+ * (the pipeline's own fault plan stays "none", keeping the evaluation
+ * week clean); the graph's repair op recovers the gaps and its remap op
+ * picks up the repair's validity vector automatically.  The oblivious
+ * baseline, the clean test cone and the weekly monitoring stay cached
+ * across the whole sweep.
  */
 
 #include <iostream>
 #include <vector>
 
-#include "baseline/oblivious.h"
+#include "core/fingerprints.h"
 #include "core/headroom.h"
-#include "core/placement.h"
 #include "core/remap.h"
 #include "fault/fault_plan.h"
 #include "fault/inject.h"
+#include "graph/ops.h"
 #include "trace/repair.h"
 #include "util/table.h"
 #include "workload/dc_presets.h"
@@ -31,15 +39,21 @@ namespace {
 using namespace sosim;
 
 double
-rppReduction(const power::PowerTree &tree,
-             const std::vector<trace::TimeSeries> &test,
-             const power::Assignment &baseline_assignment,
-             const power::Assignment &assignment)
+rpp(const pipeline::PipelineResult &r)
 {
-    return core::comparePlacements(tree, test, baseline_assignment,
-                                   assignment)
-        .at(power::Level::Rpp)
-        .peakReductionFraction;
+    return r.comparison.at(power::Level::Rpp).peakReductionFraction;
+}
+
+/** Overlay shadowing the training input with a fault-degraded copy. */
+graph::Overlay
+degradedTraining(const pipeline::Pipeline &p,
+                 const std::vector<trace::TimeSeries> &clean,
+                 const fault::FaultPlan &plan)
+{
+    auto degraded = fault::injectedCopy(clean, plan).traces;
+    const auto fp = core::fingerprintTraces(degraded);
+    return graph::Overlay().set(
+        p.trainingIn, graph::Value::of(std::move(degraded), fp));
 }
 
 } // namespace
@@ -54,29 +68,26 @@ main()
 
     workload::PresetOptions options;
     options.scale = 0.5;
-    const auto spec = workload::buildDc3Spec(options);
-    const auto dc = workload::generate(spec);
-    const auto clean_training = dc.trainingTraces();
-    const auto test = dc.testTraces(); // Always evaluated clean.
-    std::vector<std::size_t> service_of(dc.instanceCount());
-    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
-        service_of[i] = dc.serviceOf(i);
-    power::PowerTree tree(spec.topology);
-    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
-    const fault::TraceShape shape{dc.instanceCount(),
-                                  clean_training.front().size()};
+
+    pipeline::PipelineSpec pspec;
+    pspec.dc = workload::buildDc3Spec(options);
+    pspec.remap.maxSwaps = 0; // Remap rows opt in via what-if.
+    auto p = pipeline::buildPipeline(pspec);
+    const auto base = pipeline::runPipeline(p);
+    const auto cold_ops = base.opsExecuted;
+    std::size_t sweep_ops = 0;
+    std::size_t variants = 0;
+
+    const auto clean_training =
+        p.graph.eval(p.trainingIn).as<std::vector<trace::TimeSeries>>();
+    const fault::TraceShape shape = p.shape;
 
     util::Table table(
         {"variant", "valid fraction", "RPP peak reduction"});
 
-    // Clean-input reference.
-    {
-        core::PlacementEngine engine(tree, {});
-        const auto placement = engine.place(clean_training, service_of);
-        table.addRow({"clean training traces", "100.0%",
-                      util::fmtPercent(rppReduction(tree, test, oblivious,
-                                                    placement))});
-    }
+    // Clean-input reference: the base pipeline evaluation.
+    table.addRow({"clean training traces", "100.0%",
+                  util::fmtPercent(rpp(base))});
 
     // Sample-loss sweep at fixed seed: 0% is a no-op control proving
     // the fault path itself costs nothing; 1% and 5% bracket the
@@ -86,37 +97,35 @@ main()
         profile.name = "loss-sweep";
         profile.sampleLossRate = loss;
         const auto plan = fault::FaultPlan::build(7, profile, shape);
-        auto degraded = clean_training;
-        fault::injectTraceFaults(degraded, plan);
-        const auto repair =
-            trace::repairAll(degraded, trace::RepairPolicy::Interpolate);
-        core::PlacementEngine engine(tree, {});
-        const auto placement = engine.place(degraded, service_of);
+        const auto r = pipeline::runPipeline(
+            p, degradedTraining(p, clean_training, plan));
+        sweep_ops += r.opsExecuted;
+        ++variants;
         table.addRow({
             util::fmtPercent(loss, 0) + " sample loss, interpolated",
-            util::fmtPercent(repair.meanValidFraction()),
-            util::fmtPercent(
-                rppReduction(tree, test, oblivious, placement)),
+            util::fmtPercent(r.trainingRepair.meanValidFraction()),
+            util::fmtPercent(rpp(r)),
         });
     }
 
-    // Repair-policy ablation at 5% loss: hold-last vs interpolation.
+    // Repair-policy ablation at 5% loss: hold-last vs interpolation —
+    // the same degraded input, with the repair-policy input shadowed on
+    // top.
     {
         fault::FaultProfile profile;
         profile.name = "loss-sweep";
         profile.sampleLossRate = 0.05;
         const auto plan = fault::FaultPlan::build(7, profile, shape);
-        auto degraded = clean_training;
-        fault::injectTraceFaults(degraded, plan);
-        const auto repair =
-            trace::repairAll(degraded, trace::RepairPolicy::HoldLast);
-        core::PlacementEngine engine(tree, {});
-        const auto placement = engine.place(degraded, service_of);
+        const auto r = pipeline::runPipeline(
+            p, degradedTraining(p, clean_training, plan)
+                   .merged(pipeline::whatIfRepairPolicy(
+                       p, trace::RepairPolicy::HoldLast)));
+        sweep_ops += r.opsExecuted;
+        ++variants;
         table.addRow({
             "5% sample loss, hold-last",
-            util::fmtPercent(repair.meanValidFraction()),
-            util::fmtPercent(
-                rppReduction(tree, test, oblivious, placement)),
+            util::fmtPercent(r.trainingRepair.meanValidFraction()),
+            util::fmtPercent(rpp(r)),
         });
     }
 
@@ -124,31 +133,37 @@ main()
     for (const char *name : {"mild", "harsh"}) {
         const auto plan =
             fault::FaultPlan::build(7, fault::faultProfile(name), shape);
-        auto degraded = clean_training;
-        fault::injectTraceFaults(degraded, plan);
-        const auto repair =
-            trace::repairAll(degraded, trace::RepairPolicy::Interpolate);
-        core::PlacementEngine engine(tree, {});
-        auto placement = engine.place(degraded, service_of);
+        const auto overlay = degradedTraining(p, clean_training, plan);
+        const auto r = pipeline::runPipeline(p, overlay);
+        sweep_ops += r.opsExecuted;
+        ++variants;
         table.addRow({
             std::string(name) + " profile, interpolated",
-            util::fmtPercent(repair.meanValidFraction()),
-            util::fmtPercent(
-                rppReduction(tree, test, oblivious, placement)),
+            util::fmtPercent(r.trainingRepair.meanValidFraction()),
+            util::fmtPercent(rpp(r)),
         });
 
         // Validity-gated remap on top: low-validity instances are
-        // frozen in place, everything else may still swap.
-        core::Remapper remapper(tree, {});
-        remapper.refine(placement, degraded, &repair.validBefore);
+        // frozen in place, everything else may still swap.  Stacking
+        // the max-swaps what-if reuses the cached embed/distribute
+        // results from the row above.
+        const auto rr = pipeline::runPipeline(
+            p, overlay.merged(pipeline::whatIfMaxSwaps(
+                   p, core::RemapConfig{}.maxSwaps)));
+        sweep_ops += rr.opsExecuted;
+        ++variants;
         table.addRow({
             std::string(name) + " profile + validity-gated remap",
-            util::fmtPercent(repair.meanValidFraction()),
-            util::fmtPercent(
-                rppReduction(tree, test, oblivious, placement)),
+            util::fmtPercent(rr.trainingRepair.meanValidFraction()),
+            util::fmtPercent(rpp(rr)),
         });
     }
 
     table.print(std::cout);
+    std::cout << "\npipeline cache: " << variants
+              << " graph-driven variants executed " << sweep_ops
+              << " ops total (a cold pipeline run is " << cold_ops
+              << " ops; naive re-runs would be " << variants * cold_ops
+              << ")\n";
     return 0;
 }

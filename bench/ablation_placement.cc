@@ -13,14 +13,23 @@
  *
  * All variants report RPP-level peak reduction vs the oblivious
  * baseline, evaluated on the held-out test week of DC3.
+ *
+ * The sweep drives the report pipeline as an op graph: config variants
+ * are what-if overlays (the trace embedding stays cached across the
+ * clustering sweep), and the training-window/resolution variants are
+ * setInput edits whose dirty set re-runs only the training cone.  The
+ * cache summary printed at the end shows the op executions the graph
+ * saved versus re-running the pipeline cold per variant.
  */
 
 #include <iostream>
 
 #include "baseline/oblivious.h"
+#include "core/fingerprints.h"
 #include "core/headroom.h"
 #include "core/placement.h"
 #include "core/remap.h"
+#include "graph/ops.h"
 #include "util/table.h"
 #include "workload/dc_presets.h"
 #include "workload/generator.h"
@@ -41,6 +50,12 @@ rppReduction(const power::PowerTree &tree,
         .peakReductionFraction;
 }
 
+double
+rpp(const pipeline::PipelineResult &r)
+{
+    return r.comparison.at(power::Level::Rpp).peakReductionFraction;
+}
+
 } // namespace
 
 int
@@ -53,112 +68,142 @@ main()
 
     workload::PresetOptions options;
     options.scale = 0.5; // Half scale keeps the sweep fast.
-    const auto spec = workload::buildDc3Spec(options);
-    const auto dc = workload::generate(spec);
-    const auto training = dc.trainingTraces();
-    const auto test = dc.testTraces();
-    std::vector<std::size_t> service_of(dc.instanceCount());
-    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
-        service_of[i] = dc.serviceOf(i);
-    power::PowerTree tree(spec.topology);
-    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
+
+    pipeline::PipelineSpec pspec;
+    pspec.dc = workload::buildDc3Spec(options);
+    pspec.remap.maxSwaps = 0; // Placement-only rows; remap is a what-if.
+    auto p = pipeline::buildPipeline(pspec);
+    const auto base = pipeline::runPipeline(p);
+    const auto cold_ops = base.opsExecuted;
+    std::size_t sweep_ops = 0;
+    std::size_t variants = 0;
+
+    const auto training =
+        p.graph.eval(p.trainingIn).as<std::vector<trace::TimeSeries>>();
+    const auto test =
+        p.graph.eval(p.testIn).as<std::vector<trace::TimeSeries>>();
 
     util::Table table({"variant", "RPP peak reduction"});
 
-    // 1 & 2: clustering granularity and balancing.
+    // 1 & 2: clustering granularity and balancing — pure
+    // distribute-config overlays, so the embedding is computed once for
+    // all six rows.
     for (const std::size_t cpc : {1u, 2u, 4u}) {
         for (const bool balance : {true, false}) {
             core::PlacementConfig config;
             config.clustersPerChild = cpc;
             config.balanceClusters = balance;
-            core::PlacementEngine engine(tree, config);
-            const auto placement = engine.place(training, service_of);
+            const auto overlay = graph::Overlay().set(
+                p.distributeConfigIn,
+                graph::Value::of(
+                    config, core::fingerprintDistributeConfig(config)));
+            const auto r = pipeline::runPipeline(p, overlay);
+            sweep_ops += r.opsExecuted;
+            ++variants;
             table.addRow({
                 "clustersPerChild=" + std::to_string(cpc) +
                     (balance ? ", balanced" : ", unbalanced"),
-                util::fmtPercent(
-                    rppReduction(tree, test, oblivious, placement)),
+                util::fmtPercent(rpp(r)),
             });
         }
     }
 
-    // 3: S-trace basis size |B|.
+    // 3: S-trace basis size |B| — embed-config overlays.
     for (const std::size_t top : {2u, 5u, 10u}) {
-        core::PlacementConfig config;
-        config.topServices = top;
-        core::PlacementEngine engine(tree, config);
-        const auto placement = engine.place(training, service_of);
+        const auto r = pipeline::runPipeline(
+            p, pipeline::whatIfTopServices(p, top));
+        sweep_ops += r.opsExecuted;
+        ++variants;
         table.addRow({
             "topServices=" + std::to_string(top),
-            util::fmtPercent(
-                rppReduction(tree, test, oblivious, placement)),
+            util::fmtPercent(rpp(r)),
         });
     }
 
-    // 4: training window — single week vs averaged weeks (Eq. 4).
+    // 4: training window — single week vs averaged weeks (Eq. 4).  An
+    // input edit: the dirty set re-runs the training cone only.
     {
+        const auto dc = workload::generate(pspec.dc);
         std::vector<trace::TimeSeries> one_week;
         for (std::size_t i = 0; i < dc.instanceCount(); ++i)
             one_week.push_back(dc.weekTrace(i, 0));
-        core::PlacementEngine engine(tree, {});
-        const auto placement = engine.place(one_week, service_of);
+        const auto fp = core::fingerprintTraces(one_week);
+        p.graph.setInput(p.trainingIn,
+                         graph::Value::of(std::move(one_week), fp));
+        const auto r = pipeline::runPipeline(p);
+        sweep_ops += r.opsExecuted;
+        ++variants;
         table.addRow({
             "train on week 1 only (no averaging)",
-            util::fmtPercent(
-                rppReduction(tree, test, oblivious, placement)),
+            util::fmtPercent(rpp(r)),
         });
     }
 
-    // 5: trace resolution.
+    // 5: trace resolution — more input edits.
     for (const int resample : {15, 60}) {
         std::vector<trace::TimeSeries> coarse;
         for (const auto &t : training)
             coarse.push_back(t.resample(resample));
-        core::PlacementEngine engine(tree, {});
-        const auto placement = engine.place(coarse, service_of);
+        const auto fp = core::fingerprintTraces(coarse);
+        p.graph.setInput(p.trainingIn,
+                         graph::Value::of(std::move(coarse), fp));
+        const auto r = pipeline::runPipeline(p);
+        sweep_ops += r.opsExecuted;
+        ++variants;
         table.addRow({
             "training traces resampled to " + std::to_string(resample) +
                 " min",
-            util::fmtPercent(
-                rppReduction(tree, test, oblivious, placement)),
+            util::fmtPercent(rpp(r)),
         });
     }
 
-    // 6: placement strategies head to head.
+    // Back to the averaged training traces: the original fingerprint
+    // makes the memoized cone clean again, so this re-run is free.
+    p.graph.setInput(p.trainingIn,
+                     graph::Value::of(training,
+                                      core::fingerprintTraces(training)));
+
+    // 6: placement strategies head to head.  Random placement has no op
+    // (it ignores the traces), so those rows use the library directly.
     {
-        const auto random =
-            baseline::randomPlacement(tree, dc.instanceCount(), 11);
+        const auto random = baseline::randomPlacement(
+            *p.tree, p.instanceCount, 11);
         table.addRow({
             "random placement",
-            util::fmtPercent(rppReduction(tree, test, oblivious, random)),
+            util::fmtPercent(
+                rppReduction(*p.tree, test, base.oblivious, random)),
         });
-        core::PlacementEngine engine(tree, {});
-        auto smooth = engine.place(training, service_of);
         table.addRow({
             "workload-aware placement (default)",
-            util::fmtPercent(rppReduction(tree, test, oblivious, smooth)),
+            util::fmtPercent(rpp(base)),
         });
 
         // 7: remapping swaps on top.
         core::RemapConfig rc;
         rc.maxSwaps = 32;
-        core::Remapper remapper(tree, rc);
+        core::Remapper remapper(*p.tree, rc);
         auto random_remapped = random;
         remapper.refine(random_remapped, training);
         table.addRow({
             "random + 32 remap swaps",
-            util::fmtPercent(
-                rppReduction(tree, test, oblivious, random_remapped)),
+            util::fmtPercent(rppReduction(*p.tree, test, base.oblivious,
+                                          random_remapped)),
         });
-        auto smooth_remapped = smooth;
-        remapper.refine(smooth_remapped, training);
+        const auto r = pipeline::runPipeline(
+            p, pipeline::whatIfMaxSwaps(p, 32));
+        sweep_ops += r.opsExecuted;
+        ++variants;
         table.addRow({
             "workload-aware + 32 remap swaps",
-            util::fmtPercent(
-                rppReduction(tree, test, oblivious, smooth_remapped)),
+            util::fmtPercent(rpp(r)),
         });
     }
 
     table.print(std::cout);
+    std::cout << "\npipeline cache: " << variants
+              << " graph-driven variants executed " << sweep_ops
+              << " ops total (a cold pipeline run is " << cold_ops
+              << " ops; naive re-runs would be " << variants * cold_ops
+              << ")\n";
     return 0;
 }

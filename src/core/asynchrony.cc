@@ -205,4 +205,16 @@ differentialScore(const trace::TimeSeries &itrace,
 
 } // namespace reference
 
+std::vector<cluster::Point>
+embedPopulation(const std::vector<trace::TimeSeries> &itraces,
+                const std::vector<trace::TimeSeries> &straces,
+                ScoringImpl impl, trace::KernelMode kernels)
+{
+    if (impl == ScoringImpl::kReference)
+        return reference::scoreVectors(itraces, straces);
+    if (kernels == trace::KernelMode::kBlocked)
+        return scoreVectorsBlocked(itraces, straces);
+    return scoreVectors(itraces, straces);
+}
+
 } // namespace sosim::core

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cluster/kmeans.h"
+#include "trace/kernels.h"
 #include "trace/time_series.h"
 
 namespace sosim::core {
@@ -97,6 +98,19 @@ scoreVectors(const std::vector<trace::TimeSeries> &itraces,
 std::vector<cluster::Point>
 scoreVectorsBlocked(const std::vector<trace::TimeSeries> &itraces,
                     const std::vector<trace::TimeSeries> &straces);
+
+/**
+ * Route a population embedding through the configured implementation:
+ * reference::scoreVectors for ScoringImpl::kReference, otherwise the
+ * fused path (scoreVectorsBlocked when kernels == kBlocked, scoreVectors
+ * for kStrict).  This is the body of the pipeline's EmbedOp and of
+ * PlacementEngine::place's embedding stage; all routes yield
+ * bit-identical placements for a fixed seed.
+ */
+std::vector<cluster::Point>
+embedPopulation(const std::vector<trace::TimeSeries> &itraces,
+                const std::vector<trace::TimeSeries> &straces,
+                ScoringImpl impl, trace::KernelMode kernels);
 
 /**
  * Differential asynchrony score of instance i against power node N

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/fingerprints.h"
 #include "obs/obs.h"
 #include "trace/arena.h"
 #include "util/error.h"
@@ -45,16 +46,12 @@ FragmentationMonitor::FragmentationMonitor(const power::PowerTree &tree,
                   "be >= 1");
 }
 
-MonitorObservation
-FragmentationMonitor::observeWeek(
-    const std::vector<trace::TimeSeries> &itraces,
-    const power::Assignment &assignment)
+MonitorMeasurement
+measureWeek(const power::PowerTree &tree, const MonitorConfig &config,
+            const std::vector<trace::TimeSeries> &itraces,
+            const power::Assignment &assignment)
 {
-    SOSIM_SPAN("monitor.observe_week");
-    const auto t0 = std::chrono::steady_clock::now();
-
-    MonitorObservation obs;
-    obs.week = weekCounter_++;
+    MonitorMeasurement m;
 
     // Validity sweep: one pass per trace.  Fully valid weeks take the
     // zero-copy path below; anything with gaps is repaired into a copy.
@@ -66,14 +63,14 @@ FragmentationMonitor::observeWeek(
         valid_sum += validity[i];
         any_gap = any_gap || validity[i] < 1.0;
     }
-    obs.validFraction = itraces.empty()
-                            ? 1.0
-                            : valid_sum /
-                                  static_cast<double>(itraces.size());
+    m.validFraction = itraces.empty()
+                          ? 1.0
+                          : valid_sum /
+                                static_cast<double>(itraces.size());
 
     std::vector<trace::TimeSeries> node_traces;
     if (any_gap) {
-        obs.degradedData = true;
+        m.degradedData = true;
         // Repair into an arena copy of the week (the caller's traces are
         // never mutated): one contiguous allocation instead of a cloned
         // vector of series, and the aggregation reads the rows directly.
@@ -83,31 +80,98 @@ FragmentationMonitor::observeWeek(
             if (validity[i] >= 1.0)
                 continue;
             double *row = repaired.mutableRow(i);
-            if (validity[i] < config_.minValidFraction) {
+            if (validity[i] < config.minValidFraction) {
                 // Mostly fabricated: contribute nothing rather than a
                 // guess (the zeros keep aggregateTraces' shape intact).
                 std::fill(row, row + repaired.samplesPerTrace(), 0.0);
-                ++obs.excludedInstances;
+                ++m.excludedInstances;
                 continue;
             }
             const auto r =
                 trace::repairSpan(row, repaired.samplesPerTrace(),
-                                  config_.repairPolicy);
-            obs.repairedSamples += r.samplesRepaired;
+                                  config.repairPolicy);
+            m.repairedSamples += r.samplesRepaired;
         }
         std::vector<trace::TraceView> views;
         views.reserve(repaired.size());
         for (trace::TraceId id = 0; id < repaired.size(); ++id)
             views.push_back(repaired.view(id));
-        node_traces = tree_.aggregateTraces(views, assignment);
+        node_traces = tree.aggregateTraces(views, assignment);
     } else {
-        node_traces = tree_.aggregateTraces(itraces, assignment);
+        node_traces = tree.aggregateTraces(itraces, assignment);
     }
-    obs.sumOfPeaks = tree_.sumOfPeaks(node_traces, config_.level);
-    obs.rootPeak = node_traces[tree_.root()].peak();
-    SOSIM_ASSERT(obs.rootPeak > 0.0,
+    m.sumOfPeaks = tree.sumOfPeaks(node_traces, config.level);
+    m.rootPeak = node_traces[tree.root()].peak();
+    SOSIM_ASSERT(m.rootPeak > 0.0,
                  "FragmentationMonitor: zero root peak");
-    obs.fragmentationRatio = obs.sumOfPeaks / obs.rootPeak;
+    m.fragmentationRatio = m.sumOfPeaks / m.rootPeak;
+    return m;
+}
+
+MonitorObservation
+FragmentationMonitor::observeWeek(
+    const std::vector<trace::TimeSeries> &itraces,
+    const power::Assignment &assignment)
+{
+    SOSIM_SPAN("monitor.observe_week");
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // The measurement runs as a one-node member graph keyed by content
+    // fingerprints: re-observing an identical (week, assignment) pair —
+    // e.g. a what-if re-run with different thresholds, which live in
+    // ingest(), not here — is a cache hit that skips the aggregation.
+    if (!graph_) {
+        graph_ = std::make_unique<graph::OpGraph>();
+        tracesIn_ = graph_->input(
+            "itraces", graph::Value::of(&itraces,
+                                        fingerprintTraces(itraces)));
+        assignmentIn_ = graph_->input(
+            "assignment",
+            graph::Value::of(&assignment,
+                             fingerprintAssignment(assignment)));
+        measureOp_ = graph_->op(
+            "monitor.measure", {tracesIn_, assignmentIn_},
+            fingerprintMonitorMeasureConfig(config_),
+            [this](const std::vector<graph::Value> &ins) {
+                const auto &traces = *ins[0].as<
+                    const std::vector<trace::TimeSeries> *>();
+                const auto &assign =
+                    *ins[1].as<const power::Assignment *>();
+                return graph::Value::ofNonce(
+                    measureWeek(tree_, config_, traces, assign));
+            });
+    } else {
+        graph_->setInput(tracesIn_,
+                         graph::Value::of(&itraces,
+                                          fingerprintTraces(itraces)));
+        graph_->setInput(
+            assignmentIn_,
+            graph::Value::of(&assignment,
+                             fingerprintAssignment(assignment)));
+    }
+    const auto m =
+        graph_->eval(measureOp_).as<MonitorMeasurement>();
+
+    const double eval_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return ingest(m, eval_seconds);
+}
+
+MonitorObservation
+FragmentationMonitor::ingest(const MonitorMeasurement &m,
+                             double eval_seconds)
+{
+    MonitorObservation obs;
+    obs.week = weekCounter_++;
+    obs.sumOfPeaks = m.sumOfPeaks;
+    obs.rootPeak = m.rootPeak;
+    obs.fragmentationRatio = m.fragmentationRatio;
+    obs.degradedData = m.degradedData;
+    obs.validFraction = m.validFraction;
+    obs.repairedSamples = m.repairedSamples;
+    obs.excludedInstances = m.excludedInstances;
 
     // Degraded weeks face widened thresholds: repaired samples can
     // fabricate fragmentation, so demand a proportionally larger margin
@@ -138,9 +202,7 @@ FragmentationMonitor::observeWeek(
             window_.pop_front();
     }
 
-    obs.evalSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    obs.evalSeconds = eval_seconds;
     SOSIM_COUNT("monitor.observations");
 #if SOSIM_OBS_ENABLED
     // Dynamic name — the macro's static-reference cache would pin the

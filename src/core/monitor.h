@@ -18,9 +18,11 @@
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "graph/graph.h"
 #include "power/power_tree.h"
 #include "trace/repair.h"
 #include "trace/time_series.h"
@@ -112,6 +114,44 @@ struct MonitorConfig {
 };
 
 /**
+ * The pure, data-derived half of one week's evaluation: everything
+ * measureWeek can compute from (tree, config, traces, assignment) alone,
+ * before the stateful baseline/threshold judgment of
+ * FragmentationMonitor::ingest.  This is the output of the pipeline's
+ * MonitorOp.
+ */
+struct MonitorMeasurement {
+    /** Sum of per-node peaks at the watched level. */
+    double sumOfPeaks = 0.0;
+    /** Placement-invariant reference: the root (DC) peak. */
+    double rootPeak = 0.0;
+    /** sumOfPeaks / rootPeak. */
+    double fragmentationRatio = 0.0;
+    /** True when the week's telemetry contained missing samples. */
+    bool degradedData = false;
+    /** Mean valid fraction of the week's I-traces before repair. */
+    double validFraction = 1.0;
+    /** Samples filled in by the repair policy. */
+    std::size_t repairedSamples = 0;
+    /** Instances below minValidFraction, excluded from aggregation. */
+    std::size_t excludedInstances = 0;
+};
+
+/**
+ * Evaluate one week of I-traces against a placement: validity sweep,
+ * gap repair into an internal arena copy (the caller's traces are never
+ * mutated), aggregation, and the sum-of-peaks / root-peak ratio.  Pure
+ * function of its arguments — the body of the pipeline's MonitorOp and
+ * of FragmentationMonitor::observeWeek's graph node.  Only the level /
+ * repairPolicy / minValidFraction fields of the config are read (see
+ * core::fingerprintMonitorMeasureConfig).
+ */
+MonitorMeasurement
+measureWeek(const power::PowerTree &tree, const MonitorConfig &config,
+            const std::vector<trace::TimeSeries> &itraces,
+            const power::Assignment &assignment);
+
+/**
  * Tracks placement quality over successive weeks of telemetry.
  */
 class FragmentationMonitor
@@ -147,6 +187,22 @@ class FragmentationMonitor
                 const power::Assignment &assignment);
 
     /**
+     * Judge a measurement against the baseline window and record it:
+     * threshold widening for degraded data, action selection, window
+     * update, counters, history.  This is the stateful half of
+     * observeWeek; pipeline drivers that computed their measurements
+     * through a graph (core::measureWeek via MonitorOp) feed them in
+     * here, in week order.
+     *
+     * @param m            The week's measurement.
+     * @param eval_seconds Wall-clock seconds spent producing `m`
+     *                     (recorded in the observation and the
+     *                     "monitor.observe_seconds" histogram).
+     */
+    MonitorObservation
+    ingest(const MonitorMeasurement &m, double eval_seconds = 0.0);
+
+    /**
      * Tell the monitor the placement was re-derived: the baseline
      * window resets so old ratios do not mask the new placement.
      */
@@ -166,6 +222,17 @@ class FragmentationMonitor
     std::deque<double> window_;
     std::vector<MonitorObservation> history_;
     std::size_t weekCounter_ = 0;
+    /**
+     * Lazily-built member graph behind observeWeek: inputs (itraces,
+     * assignment) with content fingerprints feeding one measure node, so
+     * re-observing an identical week is a cache hit.  Input values hold
+     * non-owning pointers into the caller's buffers; they are only
+     * dereferenced during eval, inside the observeWeek call.
+     */
+    std::unique_ptr<graph::OpGraph> graph_;
+    graph::Handle tracesIn_;
+    graph::Handle assignmentIn_;
+    graph::Handle measureOp_;
 };
 
 } // namespace sosim::core

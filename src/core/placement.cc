@@ -4,28 +4,12 @@
 
 #include "core/asynchrony.h"
 #include "core/service_traces.h"
+#include "graph/graph.h"
 #include "obs/obs.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
 namespace sosim::core {
-
-namespace {
-
-/** Route the population embedding through the configured implementation. */
-std::vector<cluster::Point>
-embed(const std::vector<trace::TimeSeries> &itraces,
-      const std::vector<trace::TimeSeries> &straces, ScoringImpl impl,
-      trace::KernelMode kernels)
-{
-    if (impl == ScoringImpl::kReference)
-        return reference::scoreVectors(itraces, straces);
-    if (kernels == trace::KernelMode::kBlocked)
-        return scoreVectorsBlocked(itraces, straces);
-    return scoreVectors(itraces, straces);
-}
-
-} // namespace
 
 PlacementEngine::PlacementEngine(const power::PowerTree &tree,
                                  PlacementConfig config)
@@ -46,16 +30,48 @@ PlacementEngine::place(const std::vector<trace::TimeSeries> &itraces,
     SOSIM_REQUIRE(service_of.size() == itraces.size(),
                   "PlacementEngine::place: service_of size mismatch");
 
-    const auto straces =
-        extractServiceTraces(itraces, service_of, config_.topServices);
-    const auto vectors =
-        embed(itraces, straces.straces, config_.scoring, config_.kernels);
+    // Thin wrapper over a two-node op graph (embed -> distribute).  The
+    // graph is ephemeral and evaluated exactly once, so the inputs carry
+    // nonce fingerprints — no hashing of the trace population on this
+    // hot path — and the ops close over the caller's buffers directly.
+    graph::OpGraph g;
+    const auto traces_in = g.input(
+        "itraces", graph::Value::ofNonce(&itraces));
+    const auto services_in = g.input(
+        "service_of", graph::Value::ofNonce(&service_of));
+    const auto embed_op = g.op(
+        "placement.embed", {traces_in, services_in}, 0,
+        [this](const std::vector<graph::Value> &ins) {
+            const auto &traces =
+                *ins[0].as<const std::vector<trace::TimeSeries> *>();
+            const auto &services =
+                *ins[1].as<const std::vector<std::size_t> *>();
+            const auto straces = extractServiceTraces(
+                traces, services, config_.topServices);
+            return graph::Value::ofNonce(
+                embedPopulation(traces, straces.straces, config_.scoring,
+                                config_.kernels));
+        });
+    const auto place_op = g.op(
+        "placement.distribute", {embed_op}, 0,
+        [this](const std::vector<graph::Value> &ins) {
+            return graph::Value::ofNonce(placeWithEmbedding(
+                ins[0].as<std::vector<cluster::Point>>()));
+        });
+    return g.eval(place_op).as<power::Assignment>();
+}
 
-    std::vector<std::size_t> ids(itraces.size());
+power::Assignment
+PlacementEngine::placeWithEmbedding(
+    const std::vector<cluster::Point> &vectors) const
+{
+    SOSIM_REQUIRE(!vectors.empty(),
+                  "PlacementEngine::placeWithEmbedding: no instances");
+    std::vector<std::size_t> ids(vectors.size());
     for (std::size_t i = 0; i < ids.size(); ++i)
         ids[i] = i;
 
-    power::Assignment assignment(itraces.size(), power::kNoNode);
+    power::Assignment assignment(vectors.size(), power::kNoNode);
     distribute(vectors, std::move(ids), tree_.root(), assignment,
                config_.seed);
     for (const auto rack : assignment)
@@ -98,8 +114,8 @@ PlacementEngine::placeSubtree(const std::vector<trace::TimeSeries> &itraces,
     }
     const auto straces =
         extractServiceTraces(sub_traces, sub_service, config_.topServices);
-    const auto sub_vectors = embed(sub_traces, straces.straces,
-                                   config_.scoring, config_.kernels);
+    const auto sub_vectors = embedPopulation(
+        sub_traces, straces.straces, config_.scoring, config_.kernels);
 
     // distribute() indexes vectors by instance id; scatter the subtree's
     // vectors into a full-size table.

@@ -83,6 +83,16 @@ class PlacementEngine
           const std::vector<std::size_t> &service_of) const;
 
     /**
+     * The recursive-distribution half of place(): derive a full
+     * assignment from an already-computed population embedding (one
+     * score vector per instance, see core::embedPopulation).  This is
+     * the body of the pipeline's PlaceOp; place() is embed +
+     * placeWithEmbedding composed through a two-node op graph.
+     */
+    power::Assignment
+    placeWithEmbedding(const std::vector<cluster::Point> &vectors) const;
+
+    /**
      * Re-place only the instances of a subtree, leaving the rest of an
      * existing assignment untouched (used by Figure 9: optimizing the
      * subtree under one mid-level node without moving instances in or

@@ -93,6 +93,17 @@ class Remapper
            const std::vector<double> *validity = nullptr) const;
 
     /**
+     * The implementation behind refine(): identical contract, but called
+     * directly instead of through the one-node op graph the public entry
+     * point builds.  This is the body of the pipeline's RemapOp; callers
+     * composing their own graphs use this to avoid a nested graph.
+     */
+    std::vector<SwapRecord>
+    refineInPlace(power::Assignment &assignment,
+                  const std::vector<trace::TimeSeries> &itraces,
+                  const std::vector<double> *validity = nullptr) const;
+
+    /**
      * Asynchrony score of each rack under an assignment (1-member racks
      * score |members| = 1 by definition; empty racks score 0).
      */

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "graph/graph.h"
 #include "obs/obs.h"
 #include "util/error.h"
 
@@ -17,6 +18,14 @@ void
 requireShape(const std::vector<trace::TimeSeries> &traces,
              const FaultPlan &plan, const char *what)
 {
+    // A plan built for the wildcard shape {0, 0} schedules no events
+    // and composes with a population of any shape — the pipeline feeds
+    // its always-wired inject node such a plan when unfaulted, so
+    // what-if overlays may swap in differently-shaped populations.  A
+    // plan built for a concrete shape still validates even if it
+    // happened to schedule nothing.
+    if (plan.shape().instances == 0 && plan.shape().samplesPerTrace == 0)
+        return;
     SOSIM_REQUIRE(traces.size() == plan.shape().instances, what);
     for (const auto &t : traces)
         SOSIM_REQUIRE(t.size() == plan.shape().samplesPerTrace, what);
@@ -97,17 +106,40 @@ injectTraceFaultRows(std::size_t n, RowFn row, const FaultPlan &plan)
 
 } // namespace
 
+InjectedTraces
+injectedCopy(std::vector<trace::TimeSeries> traces, const FaultPlan &plan)
+{
+    SOSIM_SPAN("fault.inject_traces");
+    requireShape(traces, plan,
+                 "injectedCopy: traces do not match the plan shape");
+    InjectedTraces out;
+    out.traces = std::move(traces);
+    // The mutable element access invalidates each touched series' stats.
+    out.report = injectTraceFaultRows(
+        plan.shape().samplesPerTrace,
+        [&](std::size_t i) { return &out.traces[i][0]; }, plan);
+    return out;
+}
+
 InjectionReport
 injectTraceFaults(std::vector<trace::TimeSeries> &traces,
                   const FaultPlan &plan)
 {
-    SOSIM_SPAN("fault.inject_traces");
-    requireShape(traces, plan,
-                 "injectTraceFaults: traces do not match the plan shape");
-    // The mutable element access invalidates each touched series' stats.
-    return injectTraceFaultRows(
-        plan.shape().samplesPerTrace,
-        [&](std::size_t i) { return &traces[i][0]; }, plan);
+    // One-node graph around the functional form: the input is a nonce-
+    // fingerprinted pointer to the caller's population (no hashing, no
+    // extra copy beyond injectedCopy's by-value parameter), and the op
+    // body is the same injectedCopy the pipeline's InjectFaultsOp runs.
+    graph::OpGraph g;
+    const auto in = g.input("traces", graph::Value::ofNonce(&traces));
+    const auto op = g.op(
+        "fault.inject", {in}, plan.fingerprint(),
+        [&plan](const std::vector<graph::Value> &ins) {
+            auto *src = ins[0].as<std::vector<trace::TimeSeries> *>();
+            return graph::Value::ofNonce(injectedCopy(*src, plan));
+        });
+    const auto &result = g.eval(op).as<InjectedTraces>();
+    traces = result.traces;
+    return result.report;
 }
 
 InjectionReport

@@ -48,10 +48,29 @@ struct InjectionReport {
     std::size_t nodesDerated = 0;
 };
 
+/** A degraded trace population plus the report of what was done to it. */
+struct InjectedTraces {
+    std::vector<trace::TimeSeries> traces;
+    InjectionReport report;
+};
+
+/**
+ * Functional form of injectTraceFaults: take the population by value,
+ * degrade it, and return (degraded traces, report) as one immutable
+ * result.  This is the body of the pipeline's InjectFaultsOp — a pure
+ * function of (traces, plan) that an op graph can cache by content.
+ */
+InjectedTraces
+injectedCopy(std::vector<trace::TimeSeries> traces, const FaultPlan &plan);
+
 /**
  * Apply the plan's trace-level faults (skew, stuck-at, gaps, loss) to a
  * trace population in place.  The population must match the plan's
  * shape.  Samples already NaN are not double-counted.
+ *
+ * Thin wrapper: builds a one-node op graph around injectedCopy and
+ * copies the result back, so the legacy in-place signature and the
+ * pipeline path execute the same op body.
  */
 InjectionReport
 injectTraceFaults(std::vector<trace::TimeSeries> &traces,

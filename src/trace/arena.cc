@@ -50,8 +50,7 @@ TraceArena::TraceArena(std::size_t capacity, std::size_t samples_per_trace,
     SOSIM_REQUIRE(interval_minutes >= 1,
                   "TraceArena: interval_minutes must be >= 1");
     data_.reset(allocateRows(capacity_, stride_));
-    stats_.resize(capacity_);
-    statsValid_.assign(capacity_, 0);
+    statsCache_.reset(capacity_);
 }
 
 TraceArena
@@ -71,8 +70,8 @@ TraceArena::fromSeries(const std::vector<TimeSeries> &series,
 TraceArena::TraceArena(const TraceArena &other)
     : capacity_(other.capacity_), samples_(other.samples_),
       stride_(other.stride_), rows_(other.rows_),
-      intervalMinutes_(other.intervalMinutes_), stats_(other.stats_),
-      statsValid_(other.statsValid_)
+      intervalMinutes_(other.intervalMinutes_),
+      statsCache_(other.statsCache_)
 {
     data_.reset(allocateRows(capacity_, stride_));
     if (data_ != nullptr)
@@ -114,7 +113,7 @@ double *
 TraceArena::mutableRow(TraceId id)
 {
     SOSIM_REQUIRE(id < rows_, "TraceArena: row id out of range");
-    statsValid_[id] = 0;
+    statsCache_.invalidate(id);
     return data_.get() + id * stride_;
 }
 
@@ -130,18 +129,14 @@ const TraceStats &
 TraceArena::stats(TraceId id) const
 {
     SOSIM_REQUIRE(id < rows_, "TraceArena: row id out of range");
-    if (!statsValid_[id]) {
-        stats_[id] = computeStats(view(id));
-        statsValid_[id] = 1;
-    }
-    return stats_[id];
+    return statsCache_.get(id, [&] { return computeStats(view(id)); });
 }
 
 void
 TraceArena::invalidateStats(TraceId id)
 {
     SOSIM_REQUIRE(id < rows_, "TraceArena: row id out of range");
-    statsValid_[id] = 0;
+    statsCache_.invalidate(id);
 }
 
 TimeSeries

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "trace/kernels.h"
+#include "trace/stats_cache.h"
 #include "trace/time_series.h"
 
 namespace sosim::trace {
@@ -154,9 +155,9 @@ class TraceArena
     std::size_t stride_ = 0;
     std::size_t rows_ = 0;
     int intervalMinutes_ = 1;
-    /** Lazily-filled per-row stats; statsValid_[id] is the flag. */
-    mutable std::vector<TraceStats> stats_;
-    mutable std::vector<unsigned char> statsValid_;
+    /** Lazily-filled per-row stats; shared invalidation discipline with
+     *  TimeSeries and the op graph's StatsOp (trace/stats_cache.h). */
+    LazyStatsTable statsCache_;
 };
 
 } // namespace sosim::trace

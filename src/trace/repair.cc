@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "graph/graph.h"
 #include "obs/obs.h"
 #include "trace/arena.h"
 #include "util/error.h"
@@ -125,29 +126,50 @@ RepairSummary::meanValidFraction() const
     return sum / static_cast<double>(validBefore.size());
 }
 
-RepairSummary
-repairAll(std::vector<TimeSeries> &traces, RepairPolicy policy)
+RepairedTraces
+repairedCopy(std::vector<TimeSeries> traces, RepairPolicy policy)
 {
     SOSIM_SPAN("trace.repair_all");
-    RepairSummary summary;
-    summary.validBefore.reserve(traces.size());
-    for (auto &ts : traces) {
+    RepairedTraces out;
+    out.traces = std::move(traces);
+    out.summary.validBefore.reserve(out.traces.size());
+    for (auto &ts : out.traces) {
         const auto r = repairSeries(ts, policy);
-        summary.validBefore.push_back(r.validBefore);
+        out.summary.validBefore.push_back(r.validBefore);
         if (r.validBefore < 1.0)
-            ++summary.tracesDegraded;
-        summary.samplesRepaired += r.samplesRepaired;
+            ++out.summary.tracesDegraded;
+        out.summary.samplesRepaired += r.samplesRepaired;
         if (r.unrepairable)
-            ++summary.tracesUnrepairable;
+            ++out.summary.tracesUnrepairable;
         SOSIM_OBSERVE("trace.repair.valid_fraction", r.validBefore);
     }
     SOSIM_COUNT_ADD("trace.repair.samples_repaired",
-                    summary.samplesRepaired);
+                    out.summary.samplesRepaired);
     SOSIM_COUNT_ADD("trace.repair.traces_degraded",
-                    summary.tracesDegraded);
+                    out.summary.tracesDegraded);
     SOSIM_COUNT_ADD("trace.repair.traces_unrepairable",
-                    summary.tracesUnrepairable);
-    return summary;
+                    out.summary.tracesUnrepairable);
+    return out;
+}
+
+RepairSummary
+repairAll(std::vector<TimeSeries> &traces, RepairPolicy policy)
+{
+    // One-node graph around the functional form: nonce-fingerprinted
+    // pointer input (no population hashing), op body shared with the
+    // pipeline's RepairOp, result copied back into the caller's vector.
+    graph::OpGraph g;
+    const auto in = g.input("traces", graph::Value::ofNonce(&traces));
+    const auto op = g.op(
+        "trace.repair", {in},
+        graph::fingerprintString(repairPolicyName(policy)),
+        [policy](const std::vector<graph::Value> &ins) {
+            auto *src = ins[0].as<std::vector<TimeSeries> *>();
+            return graph::Value::ofNonce(repairedCopy(*src, policy));
+        });
+    const auto &result = g.eval(op).as<RepairedTraces>();
+    traces = result.traces;
+    return result.summary;
 }
 
 RepairSummary

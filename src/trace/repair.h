@@ -100,11 +100,30 @@ struct RepairSummary {
     double meanValidFraction() const;
 };
 
+/** A repaired trace population plus its aggregate repair summary. */
+struct RepairedTraces {
+    std::vector<TimeSeries> traces;
+    RepairSummary summary;
+};
+
+/**
+ * Functional form of repairAll: take the population by value, repair
+ * every series, and return (repaired traces, summary) as one immutable
+ * result.  This is the body of the pipeline's RepairOp — a pure
+ * function of (traces, policy) that an op graph can cache by content.
+ */
+RepairedTraces repairedCopy(std::vector<TimeSeries> traces,
+                            RepairPolicy policy);
+
 /**
  * Repair every series of a bundle in place; emits
  * "trace.repair.samples_repaired" / "trace.repair.traces_degraded" /
  * "trace.repair.traces_unrepairable" counters and the
  * "trace.repair.valid_fraction" histogram.
+ *
+ * Thin wrapper: builds a one-node op graph around repairedCopy and
+ * copies the result back, so the legacy in-place signature and the
+ * pipeline path execute the same op body.
  */
 RepairSummary repairAll(std::vector<TimeSeries> &traces,
                         RepairPolicy policy);

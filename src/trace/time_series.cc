@@ -39,7 +39,7 @@ double &
 TimeSeries::at(std::size_t i)
 {
     SOSIM_REQUIRE(i < samples_.size(), "TimeSeries::at: index out of range");
-    statsValid_ = false;
+    statsCache_.invalidate();
     return samples_[i];
 }
 
@@ -47,14 +47,13 @@ const TraceStats &
 TimeSeries::stats() const
 {
     SOSIM_REQUIRE(!empty(), "TimeSeries::stats: series is empty");
-    if (!statsValid_) {
-        SOSIM_COUNT("trace.stats_cache.miss");
-        stats_ = computeStats(TraceView(*this));
-        statsValid_ = true;
-    } else {
+    // Telemetry stays here (not in LazyStatsSlot): SOSIM_COUNT needs a
+    // compile-time-constant name for its static-reference cache.
+    if (statsCache_.valid())
         SOSIM_COUNT("trace.stats_cache.hit");
-    }
-    return stats_;
+    else
+        SOSIM_COUNT("trace.stats_cache.miss");
+    return statsCache_.get([&] { return computeStats(TraceView(*this)); });
 }
 
 double
@@ -126,7 +125,7 @@ TimeSeries &
 TimeSeries::operator+=(const TimeSeries &other)
 {
     SOSIM_REQUIRE(alignedWith(other), "TimeSeries::+=: misaligned series");
-    statsValid_ = false;
+    statsCache_.invalidate();
     for (std::size_t i = 0; i < samples_.size(); ++i)
         samples_[i] += other.samples_[i];
     return *this;
@@ -136,7 +135,7 @@ TimeSeries &
 TimeSeries::operator-=(const TimeSeries &other)
 {
     SOSIM_REQUIRE(alignedWith(other), "TimeSeries::-=: misaligned series");
-    statsValid_ = false;
+    statsCache_.invalidate();
     for (std::size_t i = 0; i < samples_.size(); ++i)
         samples_[i] -= other.samples_[i];
     return *this;
@@ -145,7 +144,7 @@ TimeSeries::operator-=(const TimeSeries &other)
 TimeSeries &
 TimeSeries::operator*=(double factor)
 {
-    statsValid_ = false;
+    statsCache_.invalidate();
     for (auto &s : samples_)
         s *= factor;
     return *this;
@@ -173,7 +172,7 @@ void
 TimeSeries::clamp(double lo, double hi)
 {
     SOSIM_REQUIRE(lo <= hi, "TimeSeries::clamp: lo must be <= hi");
-    statsValid_ = false;
+    statsCache_.invalidate();
     for (auto &s : samples_)
         s = std::clamp(s, lo, hi);
 }

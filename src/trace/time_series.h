@@ -16,32 +16,14 @@
 #include <cstddef>
 #include <vector>
 
+#include "trace/stats_cache.h"
+
 namespace sosim::trace {
 
 /** Minutes in a day; traces are sampled on minute multiples. */
 inline constexpr int kMinutesPerDay = 24 * 60;
 /** Minutes in a week; the paper's unit of trace evaluation is one week. */
 inline constexpr int kMinutesPerWeek = 7 * kMinutesPerDay;
-
-/**
- * Summary statistics of a trace, computed in one pass and cached on the
- * owning TimeSeries (see TimeSeries::stats()).  Scoring touches peak()
- * constantly — Eq. 6-7 divide sums of member peaks by aggregate peaks —
- * so recomputing a max-scan per score is the single hottest waste in the
- * naive pipeline.
- */
-struct TraceStats {
-    /** Maximum sample value; the paper's peak(P). */
-    double peak = 0.0;
-    /** Minimum sample value. */
-    double valley = 0.0;
-    /** Sum of the samples. */
-    double sum = 0.0;
-    /** Arithmetic mean of the samples. */
-    double mean = 0.0;
-    /** Index of the first maximum sample. */
-    std::size_t peakIndex = 0;
-};
 
 /**
  * A time series sampled at a fixed interval, in minutes.
@@ -97,7 +79,7 @@ class TimeSeries
     double operator[](std::size_t i) const { return samples_[i]; }
     double &operator[](std::size_t i)
     {
-        statsValid_ = false;
+        statsCache_.invalidate();
         return samples_[i];
     }
 
@@ -176,9 +158,9 @@ class TimeSeries
   private:
     std::vector<double> samples_;
     int intervalMinutes_ = 1;
-    /** Lazily-filled stats cache; statsValid_ is the invalidation flag. */
-    mutable TraceStats stats_;
-    mutable bool statsValid_ = false;
+    /** Lazily-filled stats cache; shared invalidation discipline with
+     *  TraceArena and the op graph's StatsOp (trace/stats_cache.h). */
+    LazyStatsSlot statsCache_;
 };
 
 /** Element-wise sum of two aligned series. */

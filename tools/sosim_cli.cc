@@ -36,6 +36,7 @@
 #include "core/remap.h"
 #include "fault/fault_plan.h"
 #include "fault/inject.h"
+#include "graph/ops.h"
 #include "obs/export.h"
 #include "power/assignment_io.h"
 #include "trace/io.h"
@@ -60,12 +61,36 @@ class Args
             std::string key = argv[i];
             SOSIM_REQUIRE(key.rfind("--", 0) == 0,
                           "expected --flag, got '" + key + "'");
+            const int pos = i;
             if (i + 1 >= argc ||
                 std::string(argv[i + 1]).rfind("--", 0) == 0) {
                 values_[key.substr(2)] = "";
             } else {
                 values_[key.substr(2)] = argv[++i];
             }
+            positions_.emplace(key.substr(2), pos);
+        }
+    }
+
+    /** Reject every flag not in `allowed` (the common observability
+     *  flags are always allowed); the error names the offending argv
+     *  position so a long command line is easy to fix. */
+    void
+    rejectUnknown(const std::string &command,
+                  std::initializer_list<const char *> allowed) const
+    {
+        static constexpr const char *kCommon[] = {
+            "trace-tree", "metrics-out", "metrics-format"};
+        for (const auto &[key, pos] : positions_) {
+            bool known = false;
+            for (const char *f : kCommon)
+                known = known || key == f;
+            for (const char *f : allowed)
+                known = known || key == f;
+            SOSIM_REQUIRE(known, "unknown flag --" + key +
+                                     " (argument " +
+                                     std::to_string(pos) + ") for '" +
+                                     command + "'");
         }
     }
 
@@ -105,6 +130,7 @@ class Args
 
   private:
     std::map<std::string, std::string> values_;
+    std::map<std::string, int> positions_;
 };
 
 power::TopologySpec
@@ -244,106 +270,46 @@ cmdEvaluate(const Args &args)
     return 0;
 }
 
-int
-cmdReport(const Args &args)
+/** Print one pipeline evaluation exactly as `report` always has:
+ *  headroom table, swap count, optional fault summary, weekly monitor
+ *  lines.  Shared by the base run and every --what-if re-run. */
+void
+printReportBody(const pipeline::PipelineResult &r, bool faulted)
 {
-    const auto spec = presetFromArgs(args);
-    const auto dc = workload::generate(spec);
-    auto training = dc.trainingTraces();
-    auto test = dc.testTraces();
-    std::vector<std::size_t> service_of(dc.instanceCount());
-    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
-        service_of[i] = dc.serviceOf(i);
-
-    // Optional deterministic fault injection (--fault-plan
-    // seed[:profile]): the same plan degrades the training and the test
-    // copies; training is repaired before placement, and the repair's
-    // per-instance validity gates swap candidacy during refinement.
-    const bool faulted = args.has("fault-plan");
-    fault::FaultPlan plan;
-    fault::InjectionReport train_report;
-    trace::RepairSummary train_repair;
-    if (faulted) {
-        const auto fp_spec =
-            fault::parseFaultPlanSpec(args.require("fault-plan"));
-        plan = fault::FaultPlan::build(
-            fp_spec.seed, fault::faultProfile(fp_spec.profile),
-            {dc.instanceCount(), training.front().size()});
-        train_report = fault::injectTraceFaults(training, plan);
-        train_repair =
-            trace::repairAll(training, trace::RepairPolicy::Interpolate);
-        fault::injectTraceFaults(test, plan);
-        trace::repairAll(test, trace::RepairPolicy::Interpolate);
-    }
-
-    power::PowerTree tree(spec.topology);
-    const auto oblivious = baseline::obliviousPlacement(tree, service_of);
-    core::PlacementEngine engine(tree, {});
-    auto optimized = engine.place(training, service_of);
-
-    // Swap-based refinement on top of the derived placement, then the
-    // comparison is against the refined result (the deployed one).
-    core::RemapConfig remap_config;
-    remap_config.maxSwaps = args.getInt("max-swaps", 16);
-    core::Remapper remapper(tree, remap_config);
-    const auto swaps = remapper.refine(
-        optimized, training,
-        faulted ? &train_repair.validBefore : nullptr);
-
-    // Breaker trips hit the deployed placement during the evaluation
-    // week: the tripped rack's instances read zero for the blackout.
-    fault::InjectionReport trip_report;
-    if (faulted)
-        trip_report =
-            fault::injectBreakerTrips(test, tree, optimized, plan);
-
-    const auto report =
-        core::comparePlacements(tree, test, oblivious, optimized);
-
-    std::cout << "SmoothOperator report for " << spec.name << " ("
-              << dc.instanceCount() << " instances)\n\n";
     util::Table table({"level", "peak reduction"});
-    for (const auto &lc : report.levels)
+    for (const auto &lc : r.comparison.levels)
         table.addRow({power::levelName(lc.level),
                       util::fmtPercent(lc.peakReductionFraction)});
     table.print(std::cout);
     std::cout << "extra servers hostable at RPP: "
-              << util::fmtPercent(report.extraServerFraction()) << "\n";
-    std::cout << "remap refinement: " << swaps.size()
+              << util::fmtPercent(r.comparison.extraServerFraction())
+              << "\n";
+    std::cout << "remap refinement: " << r.swaps.size()
               << " swaps accepted\n";
 
     if (faulted) {
-        std::cout << "fault plan seed " << plan.seed() << " profile '"
-                  << plan.profile().name << "' (fingerprint "
-                  << plan.fingerprint() << "):\n"
-                  << "  training: " << train_report.samplesDropped
-                  << " samples dropped, " << train_report.samplesStuck
-                  << " stuck, " << train_report.tracesSkewed
-                  << " traces skewed, " << train_report.tracesLost
-                  << " lost; " << train_repair.samplesRepaired
+        std::cout << "fault plan seed " << r.plan.seed() << " profile '"
+                  << r.plan.profile().name << "' (fingerprint "
+                  << r.plan.fingerprint() << "):\n"
+                  << "  training: " << r.trainingFaults.samplesDropped
+                  << " samples dropped, "
+                  << r.trainingFaults.samplesStuck << " stuck, "
+                  << r.trainingFaults.tracesSkewed << " traces skewed, "
+                  << r.trainingFaults.tracesLost << " lost; "
+                  << r.trainingRepair.samplesRepaired
                   << " samples repaired ("
-                  << train_repair.tracesUnrepairable
+                  << r.trainingRepair.tracesUnrepairable
                   << " unrepairable), mean validity "
-                  << util::fmtFixed(train_repair.meanValidFraction(), 4)
+                  << util::fmtFixed(r.trainingRepair.meanValidFraction(),
+                                    4)
                   << "\n"
-                  << "  test week: " << trip_report.blackoutSamples
+                  << "  test week: " << r.tripFaults.blackoutSamples
                   << " samples blacked out across "
-                  << trip_report.instancesBlackedOut
+                  << r.tripFaults.instancesBlackedOut
                   << " instances by breaker trips\n";
     }
 
-    // Weekly fragmentation monitoring over every generated week; with a
-    // fault plan active each week's telemetry is degraded the same way,
-    // exercising the monitor's repair + conservative-threshold path.
-    core::FragmentationMonitor monitor(tree);
-    for (int w = 0; w < spec.weeks; ++w) {
-        std::vector<trace::TimeSeries> week;
-        week.reserve(dc.instanceCount());
-        for (std::size_t i = 0; i < dc.instanceCount(); ++i)
-            week.push_back(dc.weekTrace(i, w));
-        if (faulted)
-            fault::injectTraceFaults(week, plan);
-        const auto obs = monitor.observeWeek(week, optimized);
+    for (const auto &obs : r.weekly) {
         std::cout << "monitor week " << obs.week << ": ratio "
                   << util::fmtFixed(obs.fragmentationRatio, 4)
                   << ", action " << core::monitorActionName(obs.action);
@@ -353,6 +319,46 @@ cmdReport(const Args &args)
                       << obs.repairedSamples << " repaired, "
                       << obs.excludedInstances << " excluded)";
         std::cout << "\n";
+    }
+}
+
+int
+cmdReport(const Args &args)
+{
+    // The report is the pipeline: build the op graph once, evaluate it
+    // for the base run, then re-evaluate under each --what-if overlay —
+    // the warm runs recompute only the cone the overlay can observe.
+    pipeline::PipelineSpec spec;
+    spec.dc = presetFromArgs(args);
+    if (args.has("fault-plan")) {
+        const auto fp_spec =
+            fault::parseFaultPlanSpec(args.require("fault-plan"));
+        spec.faulted = true;
+        spec.faultSeed = fp_spec.seed;
+        spec.faultProfile = fp_spec.profile;
+    }
+    spec.remap.maxSwaps = args.getInt("max-swaps", 16);
+
+    auto p = pipeline::buildPipeline(spec);
+    const auto base = pipeline::runPipeline(p);
+
+    std::cout << "SmoothOperator report for " << spec.dc.name << " ("
+              << p.instanceCount << " instances)\n\n";
+    printReportBody(base, spec.faulted);
+
+    if (args.has("what-if")) {
+        const std::string text = args.require("what-if");
+        const auto overlay = pipeline::parseWhatIf(p, text);
+        const auto wi = pipeline::runPipeline(p, overlay);
+        const bool wi_faulted =
+            spec.faulted ||
+            text.find("fault-plan") != std::string::npos;
+        std::cout << "\nwhat-if (" << text << "):\n";
+        printReportBody(wi, wi_faulted);
+        std::cout << "what-if pipeline: " << wi.opsExecuted
+                  << " ops executed, " << wi.cacheHits
+                  << " cache hits (base run executed "
+                  << base.opsExecuted << ")\n";
     }
     return 0;
 }
@@ -372,6 +378,13 @@ usage()
         "            [topology]\n"
         "  report    --dc 1|2|3 [--scale S] [--interval M]\n"
         "            [--max-swaps N] [--fault-plan SEED[:PROFILE]]\n"
+        "            [--what-if KEY=VALUE,...]\n"
+        "\n"
+        "what-if: report builds the pipeline as an op graph; --what-if\n"
+        "re-evaluates it under an overlay, recomputing only the cone\n"
+        "the change can observe.  Keys: max-swaps, placement-seed,\n"
+        "top-services, clusters-per-child, repair-policy, fault-plan,\n"
+        "monitor-level, remap-threshold, replace-threshold.\n"
         "\n"
         "fault injection: --fault-plan 7:harsh degrades the generated\n"
         "traces with a deterministic fault schedule (profiles: none,\n"
@@ -426,14 +439,30 @@ main(int argc, char **argv)
     try {
         Args args(argc, argv, 2);
         int rc = -1;
-        if (command == "generate")
+        if (command == "generate") {
+            args.rejectUnknown(command, {"dc", "scale", "interval",
+                                         "weeks", "seed", "out",
+                                         "week"});
             rc = cmdGenerate(args);
-        else if (command == "place")
+        } else if (command == "place") {
+            args.rejectUnknown(command,
+                               {"traces", "out", "top-services",
+                                "clusters-per-child", "seed", "suites",
+                                "msbs", "sbs", "rpps", "racks"});
             rc = cmdPlace(args);
-        else if (command == "evaluate")
+        } else if (command == "evaluate") {
+            args.rejectUnknown(command,
+                               {"traces", "assignment", "baseline",
+                                "suites", "msbs", "sbs", "rpps",
+                                "racks"});
             rc = cmdEvaluate(args);
-        else if (command == "report")
+        } else if (command == "report") {
+            args.rejectUnknown(command,
+                               {"dc", "scale", "interval", "weeks",
+                                "seed", "max-swaps", "fault-plan",
+                                "what-if"});
             rc = cmdReport(args);
+        }
         if (rc < 0) {
             std::cerr << "unknown command '" << command << "'\n";
             return usage();
