@@ -85,12 +85,17 @@ measureWeek(const power::PowerTree &tree, const MonitorConfig &config,
                 // guess (the zeros keep aggregateTraces' shape intact).
                 std::fill(row, row + repaired.samplesPerTrace(), 0.0);
                 ++m.excludedInstances;
+                SOSIM_EVENT(.kind = obs::EventKind::MonitorExclude,
+                            .a = i, .x = validity[i]);
                 continue;
             }
             const auto r =
                 trace::repairSpan(row, repaired.samplesPerTrace(),
                                   config.repairPolicy);
             m.repairedSamples += r.samplesRepaired;
+            if (r.samplesRepaired > 0)
+                SOSIM_EVENT(.kind = obs::EventKind::FaultRepair,
+                            .a = i, .b = r.samplesRepaired);
         }
         std::vector<trace::TraceView> views;
         views.reserve(repaired.size());
@@ -222,6 +227,15 @@ FragmentationMonitor::ingest(const MonitorMeasurement &m,
     SOSIM_GAUGE_SET("monitor.root_peak", obs.rootPeak);
     SOSIM_GAUGE_SET("monitor.fragmentation_ratio", obs.fragmentationRatio);
     SOSIM_OBSERVE("monitor.observe_seconds", obs.evalSeconds);
+    // Fully qualified: the local `obs` observation shadows the
+    // namespace here.
+    SOSIM_EVENT(.kind = ::sosim::obs::EventKind::MonitorWeek,
+                .code = obs.degradedData ? 1U : 0U,
+                .label = monitorActionName(obs.action), .a = obs.week,
+                .b = static_cast<std::uint64_t>(obs.action),
+                .c = obs.excludedInstances, .d = obs.repairedSamples,
+                .x = obs.fragmentationRatio, .y = obs.validFraction,
+                .z = widen);
 
     history_.push_back(obs);
     return obs;

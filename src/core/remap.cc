@@ -1,6 +1,7 @@
 #include "remap.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 
 #include "core/asynchrony.h"
@@ -60,6 +61,59 @@ struct LocalBest {
     double gain = 0.0;
     std::size_t posB = 0;
     SwapRecord record;
+};
+
+/**
+ * Per-task reject tallies for the flight recorder.  The pair scan
+ * rejects tens of thousands of pairings per run, so journaling one
+ * event per pair would let the recorder dominate the scan it observes;
+ * instead each (candidate, rack B) task tallies its rejects by reason
+ * (index = RejectReason - 1) and remembers the nearest miss — the
+ * rejected partner with the smallest score deficit — and the round
+ * reduces the tallies to one event per candidate per reason.  Filled
+ * only while the recorder is live.
+ */
+struct RejectTally {
+    std::array<std::uint64_t, 3> counts{};
+    std::array<std::size_t, 3> nearInst{kNoInstance, kNoInstance,
+                                        kNoInstance};
+    std::array<double, 3> nearBefore{};
+    std::array<double, 3> nearAfter{};
+    std::array<double, 3> nearMargin{kNoMargin, kNoMargin, kNoMargin};
+
+    static constexpr std::size_t kNoInstance =
+        static_cast<std::size_t>(-1);
+    static constexpr double kNoMargin =
+        -std::numeric_limits<double>::infinity();
+
+    void
+    note(obs::RejectReason reason, std::size_t inst_b, double before,
+         double after) noexcept
+    {
+        const std::size_t r = static_cast<std::uint32_t>(reason) - 1;
+        ++counts[r];
+        const double margin = after - before;
+        if (margin > nearMargin[r]) {
+            nearMargin[r] = margin;
+            nearInst[r] = inst_b;
+            nearBefore[r] = before;
+            nearAfter[r] = after;
+        }
+    }
+
+    void
+    merge(const RejectTally &other) noexcept
+    {
+        for (std::size_t r = 0; r < counts.size(); ++r) {
+            counts[r] += other.counts[r];
+            if (other.nearMargin[r] > nearMargin[r]) {
+                nearMargin[r] = other.nearMargin[r];
+                nearInst[r] = other.nearInst[r];
+                nearBefore[r] = other.nearBefore[r];
+                nearAfter[r] = other.nearAfter[r];
+            }
+        }
+    }
 };
 
 /** Mode-routed kernels: strict preserves the reference scan order. */
@@ -141,6 +195,8 @@ Remapper::refineInPlace(power::Assignment &assignment,
                         const std::vector<double> *validity) const
 {
     SOSIM_SPAN("remap.refine");
+    SOSIM_EVENT_SCOPE(.kind = obs::EventKind::Scope,
+                      .label = "remap.refine");
     SOSIM_REQUIRE(assignment.size() == itraces.size(),
                   "Remapper::refine: size mismatch");
     SOSIM_REQUIRE(validity == nullptr ||
@@ -263,9 +319,12 @@ Remapper::refineInPlace(power::Assignment &assignment,
 
     std::vector<SwapRecord> swaps;
     std::vector<power::NodeId> tried;
+    std::size_t round = 0;
     while (static_cast<int>(swaps.size()) < config_.maxSwaps) {
         SOSIM_SPAN("remap.round");
         SOSIM_COUNT("remap.rounds");
+        ++round;
+        (void)round; // Only read by the scope event when obs is on.
         // 1. Most fragmented rack not yet exhausted this pass.
         power::NodeId worst_rack = power::kNoNode;
         double worst_score = std::numeric_limits<double>::max();
@@ -284,6 +343,11 @@ Remapper::refineInPlace(power::Assignment &assignment,
             break; // Every rack tried without an accepted swap.
 
         auto &rack_a = racks[worst_rack];
+        // The round's accept/reject events chain under this scope (and
+        // under remap.refine above it) in the flight recorder.
+        SOSIM_EVENT_SCOPE(.kind = obs::EventKind::Scope,
+                          .label = "remap.round", .a = round,
+                          .c = worst_rack);
         // Refresh member caches serially before the parallel scan; after
         // the first round only the (at most two) racks the last swap
         // touched recompute anything.
@@ -323,6 +387,13 @@ Remapper::refineInPlace(power::Assignment &assignment,
         const std::size_t tasks = candidates * rack_ids.size();
         SOSIM_COUNT_ADD("remap.pairs_evaluated", tasks);
         std::vector<LocalBest> local(tasks);
+        // Reject journaling is tallied per task and reduced to one
+        // event per candidate per reason after the scan (see
+        // RejectTally) — never emitted from inside the hot loop.
+        const bool recording =
+            SOSIM_OBS_ENABLED != 0 &&
+            obs::EventRecorder::instance().enabled();
+        std::vector<RejectTally> tally(recording ? tasks : 0);
         util::parallelFor(tasks, [&](std::size_t task) {
             const std::size_t c = task / rack_ids.size();
             const power::NodeId rack_b_id = rack_ids[task % rack_ids.size()];
@@ -346,8 +417,12 @@ Remapper::refineInPlace(power::Assignment &assignment,
             for (std::size_t pos_b = 0; pos_b < rack_b.members.size();
                  ++pos_b) {
                 const std::size_t inst_b = rack_b.members[pos_b];
-                if (!swappable(inst_b))
+                if (!swappable(inst_b)) {
+                    if (recording)
+                        tally[task].note(obs::RejectReason::ValidityGate,
+                                         inst_b, 0.0, 0.0);
                     continue;
+                }
                 // Post-swap score of B at rack A first: it is the
                 // cheaper pass (two streams against the hoisted row),
                 // and a pair failing the improve-at-A rule skips the
@@ -358,8 +433,13 @@ Remapper::refineInPlace(power::Assignment &assignment,
                     arena.view(inst_b), arena.stats(inst_b).peak,
                     others_a_row, cand_others_peak[c], others_a,
                     score_a_before);
-                if (score_a_after <= score_a_before)
+                if (score_a_after <= score_a_before) {
+                    if (recording)
+                        tally[task].note(obs::RejectReason::EarlyReject,
+                                         inst_b, score_a_before,
+                                         score_a_after);
                     continue;
+                }
                 const double score_b_before = rack_b.scoreBefore[pos_b];
                 double score_b_after;
                 if (others_b == 0) {
@@ -380,8 +460,13 @@ Remapper::refineInPlace(power::Assignment &assignment,
                                         : numerator / aggregate_peak;
                 }
                 // Accept only swaps improving both nodes (paper rule).
-                if (score_b_after <= score_b_before)
+                if (score_b_after <= score_b_before) {
+                    if (recording)
+                        tally[task].note(
+                            obs::RejectReason::NoImprovement, inst_b,
+                            score_b_before, score_b_after);
                     continue;
+                }
                 const double gain = (score_a_after - score_a_before) +
                                     (score_b_after - score_b_before);
                 if (gain > best.gain) {
@@ -398,6 +483,30 @@ Remapper::refineInPlace(power::Assignment &assignment,
                 }
             }
         });
+
+        if (recording) {
+            // One journal event per candidate per reject reason: the
+            // partner count plus the nearest miss carry the decision
+            // story a per-pair log would bury in repetition.
+            for (std::size_t c = 0; c < candidates; ++c) {
+                RejectTally sum;
+                for (std::size_t r = 0; r < rack_ids.size(); ++r)
+                    sum.merge(tally[c * rack_ids.size() + r]);
+                const std::size_t inst_a = scored[c].second;
+                (void)inst_a; // Only read by the event when obs is on.
+                for (std::uint32_t code = 1; code <= 3; ++code) {
+                    const std::size_t idx = code - 1;
+                    if (sum.counts[idx] == 0)
+                        continue;
+                    SOSIM_EVENT(.kind = obs::EventKind::SwapReject,
+                                .code = code, .a = inst_a,
+                                .b = sum.counts[idx], .c = worst_rack,
+                                .d = sum.nearInst[idx],
+                                .x = sum.nearBefore[idx],
+                                .y = sum.nearAfter[idx]);
+                }
+            }
+        }
 
         SwapRecord best;
         double best_gain = 0.0;
@@ -439,6 +548,12 @@ Remapper::refineInPlace(power::Assignment &assignment,
 
             assignment[best.instanceA] = best.rackB;
             assignment[best.instanceB] = best.rackA;
+            SOSIM_EVENT(.kind = obs::EventKind::SwapAccept,
+                        .a = best.instanceA, .b = best.instanceB,
+                        .c = best.rackA, .d = best.rackB,
+                        .x = best_gain,
+                        .y = best.scoreAtAAfter - best.scoreAtABefore,
+                        .z = best.scoreAtBAfter - best.scoreAtBBefore);
             swaps.push_back(best);
             tried.clear();
         } else {

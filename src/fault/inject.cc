@@ -1,6 +1,7 @@
 #include "inject.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
@@ -43,6 +44,15 @@ injectTraceFaultRows(std::size_t n, RowFn row, const FaultPlan &plan)
 {
     InjectionReport report;
 
+    // fingerprint() walks the whole plan, so it is hashed once per pass
+    // and only when the recorder is live — recomputing it per injected
+    // fault would make event emission O(plan) each and the instrumented
+    // run quadratic in the fault count.
+    const bool recording =
+        SOSIM_OBS_ENABLED != 0 && obs::EventRecorder::instance().enabled();
+    const std::uint64_t plan_fp = recording ? plan.fingerprint() : 0;
+    (void)plan_fp; // Only read by the events when obs is compiled on.
+
     // 1. Clock skew: rotate the week (the lost tail wraps around, which
     // is the right model for periodic weekly traces).
     for (const auto &skew : plan.clockSkews()) {
@@ -59,6 +69,26 @@ injectTraceFaultRows(std::size_t n, RowFn row, const FaultPlan &plan)
                 ts[static_cast<std::size_t>(i)];
         std::copy(rotated.begin(), rotated.end(), ts);
         ++report.tracesSkewed;
+        SOSIM_EVENT(.kind = obs::EventKind::FaultInject,
+                    .code = static_cast<std::uint32_t>(
+                        obs::FaultEventCode::ClockSkew),
+                    .a = skew.instance,
+                    .b = static_cast<std::uint64_t>(skew.offsetSamples),
+                    .d = plan_fp);
+    }
+
+    // Stuck windows and gaps are the high-volume fault classes (a
+    // harsh plan schedules tens of thousands), so their events are
+    // coalesced to one per touched instance per application: the
+    // monitor acts on per-instance validity, not individual gaps, and
+    // per-gap journal rows would dominate the recorder's overhead
+    // budget and drown `sosim explain` in repetition.  Tally slot 0
+    // counts faults, slot 1 counts affected samples.
+    std::vector<std::array<std::uint64_t, 2>> stuck_tally;
+    std::vector<std::array<std::uint64_t, 2>> gap_tally;
+    if (recording) {
+        stuck_tally.assign(plan.shape().instances, {0, 0});
+        gap_tally.assign(plan.shape().instances, {0, 0});
     }
 
     // 2. Stuck-at windows: the reading at the window start repeats.
@@ -70,20 +100,45 @@ injectTraceFaultRows(std::size_t n, RowFn row, const FaultPlan &plan)
         for (std::size_t i = 1; i < stuck.length; ++i)
             ts[stuck.firstSample + i] = held;
         report.samplesStuck += stuck.length - 1;
+        if (recording) {
+            ++stuck_tally[stuck.instance][0];
+            stuck_tally[stuck.instance][1] += stuck.length - 1;
+        }
     }
 
     // 3. Dropout gaps to NaN (already-NaN samples are not recounted, so
     // overlapping gaps report the true damage).
     for (const auto &gap : plan.gaps()) {
         double *ts = row(gap.instance);
+        std::uint64_t dropped = 0;
         for (std::size_t i = 0; i < gap.length; ++i) {
             double &sample = ts[gap.firstSample + i];
             if (!std::isnan(sample)) {
                 sample = kNaN;
-                ++report.samplesDropped;
+                ++dropped;
             }
         }
+        report.samplesDropped += dropped;
+        if (recording) {
+            ++gap_tally[gap.instance][0];
+            gap_tally[gap.instance][1] += dropped;
+        }
     }
+
+    for (std::size_t i = 0; i < stuck_tally.size(); ++i)
+        if (stuck_tally[i][0] > 0)
+            SOSIM_EVENT(.kind = obs::EventKind::FaultInject,
+                        .code = static_cast<std::uint32_t>(
+                            obs::FaultEventCode::StuckSensor),
+                        .a = i, .b = stuck_tally[i][0],
+                        .c = stuck_tally[i][1], .d = plan_fp);
+    for (std::size_t i = 0; i < gap_tally.size(); ++i)
+        if (gap_tally[i][0] > 0)
+            SOSIM_EVENT(.kind = obs::EventKind::FaultInject,
+                        .code = static_cast<std::uint32_t>(
+                            obs::FaultEventCode::Gap),
+                        .a = i, .b = gap_tally[i][0],
+                        .c = gap_tally[i][1], .d = plan_fp);
 
     // 4. Whole-trace losses.
     for (const auto &loss : plan.traceLosses()) {
@@ -95,6 +150,10 @@ injectTraceFaultRows(std::size_t n, RowFn row, const FaultPlan &plan)
             }
         }
         ++report.tracesLost;
+        SOSIM_EVENT(.kind = obs::EventKind::FaultInject,
+                    .code = static_cast<std::uint32_t>(
+                        obs::FaultEventCode::TraceLoss),
+                    .a = loss.instance, .d = plan_fp);
     }
 
     SOSIM_COUNT_ADD("fault.samples_dropped", report.samplesDropped);
@@ -178,12 +237,22 @@ injectBreakerTrips(std::vector<trace::TimeSeries> &traces,
             occupied.push_back(rack);
     if (occupied.empty())
         return report;
+    // Hashed once, not per trip — see injectTraceFaultRows.
+    const std::uint64_t plan_fp =
+        obs::EventRecorder::instance().enabled() ? plan.fingerprint() : 0;
+    (void)plan_fp;
     std::vector<bool> hit(traces.size(), false);
     for (const auto &event : plan.powerEvents()) {
         if (event.kind != PowerEventKind::BreakerTrip)
             continue;
         const power::NodeId rack =
             occupied[event.nodeOrdinal % occupied.size()];
+        SOSIM_EVENT(.kind = obs::EventKind::FaultInject,
+                    .code = static_cast<std::uint32_t>(
+                        obs::FaultEventCode::BreakerTrip),
+                    .a = rack, .b = event.atSample,
+                    .c = event.durationSamples,
+                    .d = plan_fp);
         for (std::size_t i = 0; i < assignment.size(); ++i) {
             if (assignment[i] != rack)
                 continue;
@@ -211,6 +280,10 @@ applyDerating(power::PowerTree &tree, const FaultPlan &plan,
     const auto &nodes = tree.nodesAtLevel(level);
     if (nodes.empty())
         return derated;
+    // Hashed once, not per derate — see injectTraceFaultRows.
+    const std::uint64_t plan_fp =
+        obs::EventRecorder::instance().enabled() ? plan.fingerprint() : 0;
+    (void)plan_fp;
     for (const auto &event : plan.powerEvents()) {
         if (event.kind != PowerEventKind::Derate)
             continue;
@@ -220,6 +293,11 @@ applyDerating(power::PowerTree &tree, const FaultPlan &plan,
             continue; // Nothing provisioned, nothing to derate.
         tree.setBudget(id, budget * event.factor);
         derated.push_back(id);
+        SOSIM_EVENT(.kind = obs::EventKind::FaultInject,
+                    .code = static_cast<std::uint32_t>(
+                        obs::FaultEventCode::Derate),
+                    .a = id, .d = plan_fp,
+                    .x = event.factor);
     }
     SOSIM_COUNT_ADD("fault.nodes_derated", derated.size());
     return derated;

@@ -209,6 +209,8 @@ OpGraph::markDownstreamDirty(std::size_t id)
             if (nodes_[out].dirty)
                 continue; // its cone is already marked
             nodes_[out].dirty = true;
+            SOSIM_EVENT(.kind = obs::EventKind::GraphDirty,
+                        .label = nodes_[out].name, .a = out);
             frontier.push_back(out);
         }
     }
@@ -240,6 +242,11 @@ OpGraph::executeSig(Node &n, std::uint64_t sig,
 #if SOSIM_OBS_ENABLED
     {
         obs::ScopedSpan span("graph.op." + n.name);
+        SOSIM_EVENT_SCOPE(.kind = obs::EventKind::GraphEval,
+                          .label = n.name, .a = sig,
+                          .b = ins.empty() ? 0 : ins[0].fingerprint(),
+                          .c = ins.size() < 2 ? 0 : ins[1].fingerprint(),
+                          .d = ins.size() < 3 ? 0 : ins[2].fingerprint());
         const auto t0 = std::chrono::steady_clock::now();
         out = n.fn(ins);
         const auto t1 = std::chrono::steady_clock::now();
@@ -270,6 +277,8 @@ OpGraph::evalBase(std::size_t id)
     if (!n.dirty && !n.lastValue.empty()) {
         ++hits_;
         SOSIM_COUNT("graph.op.cache_hit");
+        SOSIM_EVENT(.kind = obs::EventKind::GraphCacheHit,
+                    .label = n.name, .a = n.lastSig);
         return n.lastValue;
     }
     std::vector<Value> ins;
@@ -284,6 +293,8 @@ OpGraph::evalBase(std::size_t id)
     if (const Value *cached = cacheLookup(n, sig)) {
         ++hits_;
         SOSIM_COUNT("graph.op.cache_hit");
+        SOSIM_EVENT(.kind = obs::EventKind::GraphCacheHit,
+                    .label = n.name, .a = sig);
         n.lastSig = sig;
         n.lastValue = *cached;
         n.dirty = false;
@@ -323,6 +334,8 @@ OpGraph::evalShadowed(std::size_t id, const Overlay &overlay,
     if (const Value *cached = cacheLookup(n, sig)) {
         ++hits_;
         SOSIM_COUNT("graph.op.cache_hit");
+        SOSIM_EVENT(.kind = obs::EventKind::GraphCacheHit,
+                    .label = n.name, .a = sig);
         return *cached;
     }
     // Deliberately leaves lastValue/dirty untouched: overlay results

@@ -1,0 +1,355 @@
+#include "events.h"
+
+#include <algorithm>
+
+#include "obs/export.h"
+
+namespace sosim::obs {
+
+namespace {
+
+/** The calling thread's current causal scope id (0 = none). */
+thread_local std::uint64_t t_currentScope = 0;
+
+/** No explicit timestamp: store() stamps the event itself. */
+constexpr std::uint64_t kStampNow =
+    static_cast<std::uint64_t>(-1);
+
+#if defined(__x86_64__)
+/**
+ * Raw cycle counter for per-event timestamps.  steady_clock::now() is
+ * ~33ns on this class of hardware and dominates record(); the invariant
+ * TSC reads in ~19ns and setEnabled() calibrates a cycles→ns factor
+ * against steady_clock, so exported times stay on the steady timeline.
+ */
+inline std::uint64_t
+tscNow() noexcept
+{
+    return __builtin_ia32_rdtsc();
+}
+#endif
+
+Event
+fromData(const EventData &d)
+{
+    Event e;
+    e.kind = d.kind;
+    e.code = d.code;
+    e.a = d.a;
+    e.b = d.b;
+    e.c = d.c;
+    e.d = d.d;
+    e.x = d.x;
+    e.y = d.y;
+    e.z = d.z;
+    return e;
+}
+
+} // namespace
+
+std::uint64_t
+currentEventScope()
+{
+    return t_currentScope;
+}
+
+std::uint64_t
+setCurrentEventScope(std::uint64_t scope)
+{
+    const std::uint64_t prev = t_currentScope;
+    t_currentScope = scope;
+    return prev;
+}
+
+EventRecorder &
+EventRecorder::instance()
+{
+    static EventRecorder recorder;
+    return recorder;
+}
+
+void
+EventRecorder::setEnabled(bool on)
+{
+    if (on) {
+        steadyEpoch_ = std::chrono::steady_clock::now();
+        wallEpoch_ = utcTimestamp();
+#if defined(__x86_64__)
+        // Calibrate the TSC against steady_clock over ~1ms.  The
+        // invariant TSC's rate is constant, so a one-shot ratio holds
+        // for the life of the recording; 0.1% error over a minutes-long
+        // run is far below what a timeline viewer can show.
+        tscEpoch_ = tscNow();
+        const auto c0 = steadyEpoch_;
+        auto c1 = c0;
+        do {
+            c1 = std::chrono::steady_clock::now();
+        } while (c1 - c0 < std::chrono::milliseconds(1));
+        const std::uint64_t ticks = tscNow() - tscEpoch_;
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(c1 -
+                                                                 c0)
+                .count();
+        nsPerTick_ = ticks == 0 ? 0.0
+                                : static_cast<double>(ns) /
+                                      static_cast<double>(ticks);
+#endif
+    }
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+std::size_t
+EventRecorder::capacity() const
+{
+    return capacity_.load(std::memory_order_relaxed);
+}
+
+void
+EventRecorder::setCapacity(std::size_t per_shard)
+{
+    capacity_.store(per_shard == 0 ? 1 : per_shard,
+                    std::memory_order_relaxed);
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.ring.clear();
+        shard.ring.shrink_to_fit();
+        shard.head = 0;
+    }
+}
+
+std::uint64_t
+EventRecorder::nextSeqLocal() noexcept
+{
+    // One shared fetch_add per kSeqBatch events instead of one per
+    // event: with every pool worker emitting (the remap pair scan),
+    // a per-event RMW ping-pongs the sequence cache line between
+    // cores and alone blows the recorder's 5% end-to-end budget.
+    // The generation check discards cached blocks after reset()
+    // rewinds the counter, so replays restart from seq 1.
+    constexpr std::uint64_t kSeqBatch = 256;
+    struct Cache {
+        std::uint64_t next = 0;
+        std::uint64_t end = 0;
+        std::uint64_t generation = ~0ULL;
+    };
+    thread_local Cache cache;
+    const std::uint64_t gen =
+        seqGeneration_.load(std::memory_order_relaxed);
+    if (cache.next == cache.end || cache.generation != gen) {
+        cache.next =
+            nextSeq_.fetch_add(kSeqBatch, std::memory_order_relaxed);
+        cache.end = cache.next + kSeqBatch;
+        cache.generation = gen;
+    }
+    return cache.next++;
+}
+
+std::uint64_t
+EventRecorder::store(Event e, std::uint64_t steady_nanos) noexcept
+{
+    e.seq = nextSeqLocal();
+    e.parent = t_currentScope;
+    e.thread = static_cast<std::uint16_t>(threadShard());
+    if (fakeTimeActive()) {
+        // Synthetic, sequence-derived time keeps journal goldens
+        // byte-stable under fake time (see obs/export.h).
+        e.steadyNanos = e.seq * 1000;
+    } else if (steady_nanos != kStampNow) {
+        e.steadyNanos = steady_nanos;
+    } else {
+#if defined(__x86_64__)
+        e.steadyNanos = static_cast<std::uint64_t>(
+            static_cast<double>(tscNow() - tscEpoch_) * nsPerTick_);
+#else
+        e.steadyNanos = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - steadyEpoch_)
+                .count());
+#endif
+    }
+
+    const std::size_t cap = capacity();
+    Shard &shard = shards_[threadShard()];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.ring.size() < cap) {
+        // Grow lazily toward capacity; idle shards stay empty.
+        shard.ring.push_back(e);
+        shard.head = shard.ring.size() % cap;
+    } else {
+        // Full: overwrite the oldest buffered event and count the drop.
+        ++shard.dropped;
+        shard.ring[shard.head] = e;
+        shard.head = (shard.head + 1) % cap;
+    }
+    ++shard.recorded;
+    return e.seq;
+}
+
+void
+EventRecorder::record(const EventData &d) noexcept
+{
+    if (!enabled())
+        return;
+    Event e = fromData(d);
+    if (!d.label.empty())
+        e.name = internLabel(d.label);
+    store(e, kStampNow);
+}
+
+void
+EventRecorder::recordAt(const EventData &d,
+                        std::uint64_t steady_nanos) noexcept
+{
+    if (!enabled())
+        return;
+    Event e = fromData(d);
+    if (!d.label.empty())
+        e.name = internLabel(d.label);
+    store(e, steady_nanos);
+}
+
+std::uint64_t
+EventRecorder::recordScope(const EventData &d) noexcept
+{
+    if (!enabled())
+        return 0;
+    Event e = fromData(d);
+    if (e.kind == EventKind::None)
+        e.kind = EventKind::Scope;
+    if (!d.label.empty())
+        e.name = internLabel(d.label);
+    return store(e, kStampNow);
+}
+
+std::uint64_t
+EventRecorder::dropped() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.dropped;
+    }
+    return total;
+}
+
+std::uint64_t
+EventRecorder::recorded() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.recorded;
+    }
+    return total;
+}
+
+std::vector<Event>
+EventRecorder::collect(bool clear)
+{
+    std::vector<Event> out;
+    const std::size_t cap = capacity();
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const std::size_t n = shard.ring.size();
+        // Oldest-first: once the ring has wrapped, the oldest event
+        // sits at head; before that the ring is in append order.
+        const std::size_t start = n < cap ? 0 : shard.head;
+        for (std::size_t i = 0; i < n; ++i)
+            out.push_back(shard.ring[(start + i) % n]);
+        if (clear) {
+            shard.ring.clear();
+            shard.head = 0;
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Event &l, const Event &r) { return l.seq < r.seq; });
+    return out;
+}
+
+void
+EventRecorder::reset()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.ring.clear();
+        shard.ring.shrink_to_fit();
+        shard.head = 0;
+        shard.dropped = 0;
+        shard.recorded = 0;
+    }
+    // Labels are kept: interned ids in already-collected events must
+    // stay resolvable, mirroring Registry::resetValues() semantics.
+    //
+    // The sequence counter rewinds so a pinned single-threaded run
+    // replayed after a reset assigns identical seqs (and, under fake
+    // time, identical timestamps) — the basis for byte-stable journal
+    // goldens.  Events collected before the reset keep their old seqs.
+    // Bumping the generation discards every thread's cached seq block.
+    nextSeq_.store(1, std::memory_order_relaxed);
+    seqGeneration_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t
+EventRecorder::internLabel(std::string_view label)
+{
+    std::lock_guard<std::mutex> lock(labelMutex_);
+    const auto it = labelIds_.find(label);
+    if (it != labelIds_.end())
+        return it->second;
+    labels_.emplace_back(label);
+    const auto id = static_cast<std::uint32_t>(labels_.size());
+    labelIds_.emplace(std::string(label), id);
+    return id;
+}
+
+std::string
+EventRecorder::labelOf(std::uint32_t id) const
+{
+    std::lock_guard<std::mutex> lock(labelMutex_);
+    if (id == 0 || id > labels_.size())
+        return "";
+    return labels_[id - 1];
+}
+
+std::chrono::steady_clock::time_point
+EventRecorder::steadyEpoch() const
+{
+    return steadyEpoch_;
+}
+
+std::string
+EventRecorder::wallEpoch() const
+{
+    return wallEpoch_;
+}
+
+void
+recordSpanEvent(const SpanNode *node,
+                std::chrono::steady_clock::time_point start,
+                std::uint64_t duration_nanos) noexcept
+{
+    EventRecorder &rec = EventRecorder::instance();
+    if (!rec.enabled())
+        return;
+    EventData d;
+    d.kind = EventKind::Span;
+    d.a = reinterpret_cast<std::uint64_t>(node);
+    // Real durations are nondeterministic, so under fake time they are
+    // journaled as 0 — goldens stay byte-stable and the synthetic
+    // timeline (seq-derived timestamps) already orders the slices.
+    d.b = fakeTimeActive() ? 0 : duration_nanos;
+    // Timestamp at the span's *start*, not at close: the exported
+    // timeline slice must begin where the span began.  Spans that
+    // opened before recording was enabled clamp to the epoch.
+    const auto since = start - rec.steadyEpoch();
+    const std::uint64_t at =
+        since.count() < 0
+            ? 0
+            : static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      since)
+                      .count());
+    rec.recordAt(d, at);
+}
+
+} // namespace sosim::obs

@@ -1,9 +1,13 @@
 #include "export.h"
 
+#include <atomic>
 #include <cctype>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <iomanip>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -13,16 +17,68 @@ namespace sosim::obs {
 
 namespace {
 
-/** JSON string escaping for metric/span names (quotes and backslashes). */
+/** JSON string escaping for metric/span names: quotes, backslashes,
+ *  and control characters (a raw newline or tab in a name would break
+ *  the emitted document). */
 std::string
 jsonEscape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size());
     for (const char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** Prometheus label-value escaping per the text exposition format:
+ *  backslash, double quote, and newline must be escaped inside the
+ *  label="..." quotes (span paths are user-influenced strings). */
+std::string
+promLabelEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out.push_back(c);
+        }
     }
     return out;
 }
@@ -111,9 +167,51 @@ treeNode(std::ostream &os, const SpanNode &node, int depth,
 
 } // namespace
 
+namespace {
+
+/** Fake-time state: the flag is the hot-path gate (fakeTimeActive()
+ *  runs once per recorded event); the string sits behind a mutex. */
+std::atomic<bool> g_fakeActive{false};
+std::mutex g_fakeMutex;
+std::string g_fakeStamp;
+
+/** Adopt SOSIM_FAKE_TIME from the environment, once. */
+void
+initFakeTimeFromEnv()
+{
+    static const bool once = [] {
+        if (const char *env = std::getenv("SOSIM_FAKE_TIME"))
+            if (env[0] != '\0')
+                setFakeTime(env);
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace
+
+void
+setFakeTime(const std::string &stamp)
+{
+    std::lock_guard<std::mutex> lock(g_fakeMutex);
+    g_fakeStamp = stamp;
+    g_fakeActive.store(!stamp.empty(), std::memory_order_relaxed);
+}
+
+bool
+fakeTimeActive()
+{
+    initFakeTimeFromEnv();
+    return g_fakeActive.load(std::memory_order_relaxed);
+}
+
 std::string
 utcTimestamp()
 {
+    if (fakeTimeActive()) {
+        std::lock_guard<std::mutex> lock(g_fakeMutex);
+        return g_fakeStamp;
+    }
     const std::time_t now = std::time(nullptr);
     char stamp[32] = "unknown";
     if (const std::tm *tm = std::gmtime(&now))
@@ -215,13 +313,14 @@ writeMetricsPrometheus(std::ostream &os, const MetricsSnapshot &snapshot,
         collectSpans(span_root, "", spans);
         os << "# TYPE sosim_span_invocations_total counter\n";
         for (const auto &[path, node] : spans)
-            os << "sosim_span_invocations_total{span=\"" << path << "\"} "
+            os << "sosim_span_invocations_total{span=\""
+               << promLabelEscape(path) << "\"} "
                << node->invocations.load(std::memory_order_relaxed)
                << "\n";
         os << "# TYPE sosim_span_busy_seconds_total counter\n";
         for (const auto &[path, node] : spans)
-            os << "sosim_span_busy_seconds_total{span=\"" << path
-               << "\"} "
+            os << "sosim_span_busy_seconds_total{span=\""
+               << promLabelEscape(path) << "\"} "
                << static_cast<double>(
                       node->totalNanos.load(std::memory_order_relaxed)) /
                       1e9

@@ -31,8 +31,23 @@
 
 namespace sosim::obs {
 
-/** "YYYY-MM-DDTHH:MM:SSZ" for the current wall-clock time. */
+/**
+ * "YYYY-MM-DDTHH:MM:SSZ" for the current wall-clock time — unless fake
+ * time is active, in which case the pinned stamp is returned verbatim.
+ *
+ * Fake time exists so journal/metrics goldens can be byte-stable in
+ * ctest: set the SOSIM_FAKE_TIME environment variable (read once, at
+ * first use) or call setFakeTime().  While active, the flight recorder
+ * (obs/events.h) also stamps events with synthetic, sequence-derived
+ * steady times instead of the real clock.
+ */
 std::string utcTimestamp();
+
+/** Pin utcTimestamp() to `stamp` (""/empty restores real time). */
+void setFakeTime(const std::string &stamp);
+
+/** True while a fake timestamp is pinned (one relaxed load). */
+bool fakeTimeActive();
 
 /** JSON dump of a snapshot plus a span tree. */
 void writeMetricsJson(std::ostream &os, const MetricsSnapshot &snapshot,

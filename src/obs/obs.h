@@ -25,6 +25,7 @@
 #define SOSIM_OBS_ENABLED 1
 #endif
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -64,6 +65,33 @@
         sosim_obs_h.observe(static_cast<double>(value));                    \
     } while (0)
 
+/**
+ * Record one flight-recorder event.  Arguments are EventData designated
+ * initializers: SOSIM_EVENT(.kind = EventKind::SwapAccept, .a = inst).
+ * Costs one relaxed load and a branch while the recorder is idle.
+ */
+#define SOSIM_EVENT(...)                                                    \
+    do {                                                                    \
+        static ::sosim::obs::EventRecorder &sosim_obs_e =                   \
+            ::sosim::obs::EventRecorder::instance();                        \
+        if (sosim_obs_e.enabled())                                          \
+            sosim_obs_e.record(::sosim::obs::EventData{__VA_ARGS__});       \
+    } while (0)
+
+/**
+ * Open a RAII causal scope for the rest of the enclosing block: events
+ * recorded inside (including on parallelFor workers the block submits)
+ * carry this scope event's id as their parent.
+ */
+/* The ternary keeps the payload expressions unevaluated while the
+ * recorder is idle — same laziness contract as SOSIM_EVENT. */
+#define SOSIM_EVENT_SCOPE(...)                                              \
+    ::sosim::obs::ScopedEventScope SOSIM_OBS_CONCAT(                        \
+        sosim_event_scope_,                                                 \
+        __LINE__)(::sosim::obs::EventRecorder::instance().enabled()        \
+                      ? ::sosim::obs::EventData{__VA_ARGS__}               \
+                      : ::sosim::obs::EventData{})
+
 #else // !SOSIM_OBS_ENABLED
 
 #define SOSIM_SPAN(name)                                                    \
@@ -79,6 +107,12 @@
     do {                                                                    \
     } while (0)
 #define SOSIM_OBSERVE(name, value)                                          \
+    do {                                                                    \
+    } while (0)
+#define SOSIM_EVENT(...)                                                    \
+    do {                                                                    \
+    } while (0)
+#define SOSIM_EVENT_SCOPE(...)                                              \
     do {                                                                    \
     } while (0)
 

@@ -32,6 +32,8 @@
 #include <mutex>
 #include <string>
 
+#include "obs/events.h" // recordSpanEvent (events.h never includes span.h)
+
 namespace sosim::obs {
 
 /** One node of the span tree.  Never destroyed while the process runs. */
@@ -127,13 +129,15 @@ class ScopedSpan
         if (!node_)
             return;
         const auto elapsed = std::chrono::steady_clock::now() - start_;
+        const auto nanos = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count());
         node_->invocations.fetch_add(1, std::memory_order_relaxed);
-        node_->totalNanos.fetch_add(
-            static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    elapsed)
-                    .count()),
-            std::memory_order_relaxed);
+        node_->totalNanos.fetch_add(nanos, std::memory_order_relaxed);
+        // Journal the closed slice so the Chrome-trace export has a
+        // timeline, not just aggregates (no-op while the recorder is
+        // idle; spans are stage-grained, so this stays off hot paths).
+        recordSpanEvent(node_, start_, nanos);
         SpanTracer::instance().setCurrent(prev_);
     }
 

@@ -133,8 +133,8 @@ repairedCopy(std::vector<TimeSeries> traces, RepairPolicy policy)
     RepairedTraces out;
     out.traces = std::move(traces);
     out.summary.validBefore.reserve(out.traces.size());
-    for (auto &ts : out.traces) {
-        const auto r = repairSeries(ts, policy);
+    for (std::size_t i = 0; i < out.traces.size(); ++i) {
+        const auto r = repairSeries(out.traces[i], policy);
         out.summary.validBefore.push_back(r.validBefore);
         if (r.validBefore < 1.0)
             ++out.summary.tracesDegraded;
@@ -142,6 +142,9 @@ repairedCopy(std::vector<TimeSeries> traces, RepairPolicy policy)
         if (r.unrepairable)
             ++out.summary.tracesUnrepairable;
         SOSIM_OBSERVE("trace.repair.valid_fraction", r.validBefore);
+        if (r.samplesRepaired > 0)
+            SOSIM_EVENT(.kind = obs::EventKind::FaultRepair, .a = i,
+                        .b = r.samplesRepaired);
     }
     SOSIM_COUNT_ADD("trace.repair.samples_repaired",
                     out.summary.samplesRepaired);
@@ -189,6 +192,9 @@ repairAll(TraceArena &arena, RepairPolicy policy)
         if (r.unrepairable)
             ++summary.tracesUnrepairable;
         SOSIM_OBSERVE("trace.repair.valid_fraction", r.validBefore);
+        if (r.samplesRepaired > 0)
+            SOSIM_EVENT(.kind = obs::EventKind::FaultRepair, .a = id,
+                        .b = r.samplesRepaired);
     }
     SOSIM_COUNT_ADD("trace.repair.samples_repaired",
                     summary.samplesRepaired);

@@ -241,13 +241,17 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
     std::vector<std::exception_ptr> errors(lanes);
 #if SOSIM_OBS_ENABLED
     // Spans opened inside worker chunks nest under the stage that
-    // submitted the fan-out, not under detached per-thread roots.
+    // submitted the fan-out, not under detached per-thread roots — and
+    // flight-recorder events emitted there chain to the submitting
+    // thread's current causal scope the same way.
     obs::SpanNode *submitting_span = obs::currentSpan();
+    const std::uint64_t submitting_scope = obs::currentEventScope();
 #endif
     const std::function<void(std::size_t)> chunkFn =
         [&](std::size_t chunk) {
 #if SOSIM_OBS_ENABLED
             obs::ScopedSpanAdopt adopt(submitting_span);
+            obs::ScopedEventParentAdopt adopt_scope(submitting_scope);
 #endif
             const std::size_t lo = chunk * n / lanes;
             const std::size_t hi = (chunk + 1) * n / lanes;

@@ -26,6 +26,7 @@
 #include "core/monitor.h"
 #include "obs/export.h"
 #include "obs/obs.h"
+#include "obs/trace_export.h"
 #include "power/power_tree.h"
 #include "util/parallel.h"
 #include "workload/catalog.h"
@@ -370,6 +371,58 @@ TEST(Export, EmptySnapshotStillValidJson)
 }
 )";
     EXPECT_EQ(out.str(), expected);
+}
+
+TEST(Export, PrometheusEscapesHostileSpanNames)
+{
+    // Span names come from call sites, but nothing stops one carrying
+    // label-breaking characters; the exporter must escape them rather
+    // than emit a syntactically broken exposition line.
+    obs::MetricsSnapshot empty;
+    obs::SpanNode root("root", nullptr);
+    auto hostile = std::make_unique<obs::SpanNode>(
+        "bad\\name\"quoted\"\nnewline", &root);
+    hostile->invocations.store(1);
+    hostile->totalNanos.store(1000000);
+    root.children.emplace(hostile->name, std::move(hostile));
+
+    std::ostringstream out;
+    obs::writeMetricsPrometheus(out, empty, root);
+    const std::string text = out.str();
+    EXPECT_NE(
+        text.find(
+            R"(span="bad\\name\"quoted\"\nnewline")"),
+        std::string::npos)
+        << text;
+    // The raw newline must not survive inside a label value.
+    EXPECT_EQ(text.find("quoted\"\n"), std::string::npos);
+}
+
+TEST(Export, JsonRendersNonFiniteValuesAsNull)
+{
+    obs::MetricsSnapshot snapshot;
+    snapshot.gauges.push_back(
+        {"test.nan_gauge", std::numeric_limits<double>::quiet_NaN()});
+    snapshot.gauges.push_back(
+        {"test.inf_gauge", std::numeric_limits<double>::infinity()});
+    obs::HistogramSample h;
+    h.name = "test.nan_hist";
+    h.data.bucketCounts.assign(obs::Histogram::kBuckets, 0);
+    h.data.count = 1;
+    h.data.sum = std::numeric_limits<double>::quiet_NaN();
+    snapshot.histograms.push_back(std::move(h));
+
+    obs::SpanNode root("root", nullptr);
+    std::ostringstream out;
+    obs::writeMetricsJson(out, snapshot, root, "nonfinite",
+                          "2026-01-01T00:00:00Z");
+    const std::string text = out.str();
+    EXPECT_NE(text.find("\"test.nan_gauge\": null"), std::string::npos);
+    EXPECT_NE(text.find("\"test.inf_gauge\": null"), std::string::npos);
+    EXPECT_NE(text.find("\"sum\": null"), std::string::npos);
+    // A bare nan/inf token would make the document unparseable.
+    std::string error;
+    EXPECT_TRUE(obs::validateJson(text, &error)) << error;
 }
 
 TEST(Export, SpanTreePrinterShowsHierarchy)

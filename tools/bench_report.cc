@@ -38,7 +38,9 @@
 #include "baseline/oblivious.h"
 #include "fault/fault_plan.h"
 #include "fault/inject.h"
+#include "obs/events.h"
 #include "obs/export.h"
+#include "obs/trace_export.h"
 #include "trace/kernels.h"
 #include "trace/repair.h"
 #include "core/asynchrony.h"
@@ -170,6 +172,7 @@ main(int argc, char **argv)
     std::string out = "BENCH_report.json";
     std::string metrics_out;
     std::string fault_plan;
+    std::string flight_record;
     std::string label = "dev";
     std::size_t pool_threads = util::threadCount();
     int repeats = 5;
@@ -196,15 +199,22 @@ main(int argc, char **argv)
             repeats = std::stoi(next("--repeats"));
         else if (arg == "--fault-plan")
             fault_plan = next("--fault-plan");
+        else if (arg == "--flight-record")
+            flight_record = next("--flight-record");
         else if (arg == "--json")
             json_stdout = true;
         else {
             std::cerr << "usage: bench_report [--out FILE] [--label TAG] "
                          "[--threads N] [--repeats R] [--json] "
                          "[--metrics-out FILE] "
-                         "[--fault-plan SEED[:PROFILE]]\n";
+                         "[--fault-plan SEED[:PROFILE]] "
+                         "[--flight-record FILE]\n";
             return 2;
         }
+    }
+    if (!flight_record.empty()) {
+        obs::EventRecorder::instance().setCapacity(1U << 16U);
+        obs::EventRecorder::instance().setEnabled(true);
     }
 
     std::vector<Measurement> rows;
@@ -387,6 +397,21 @@ main(int argc, char **argv)
         sosim::obs::writeMetricsJson(mfile, "bench_report-" + label);
         std::cerr << "bench_report: wrote metrics to " << metrics_out
                   << "\n";
+    }
+
+    if (!flight_record.empty()) {
+        std::ofstream jfile(flight_record);
+        if (!jfile) {
+            std::cerr << "bench_report: cannot open " << flight_record
+                      << " for writing\n";
+            return 1;
+        }
+        obs::EventRecorder &rec = obs::EventRecorder::instance();
+        const auto events = rec.collect();
+        obs::writeEventJournal(jfile, events, "bench_report-" + label);
+        std::cerr << "bench_report: wrote flight record ("
+                  << events.size() << " events, " << rec.dropped()
+                  << " dropped) to " << flight_record << "\n";
     }
     return 0;
 }

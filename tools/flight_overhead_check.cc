@@ -1,0 +1,150 @@
+/**
+ * @file
+ * End-to-end cost gate for the flight recorder.
+ *
+ * Runs the full report pipeline (population 384, faulted) twice per
+ * repeat — recorder disabled, then recorder enabled with a sink-sized
+ * ring — and compares best-of times.  The enabled run must stay within
+ * 5% of the disabled run: that is the contract that lets `sosim report
+ * --flight-record` be turned on in CI and in the field without
+ * distorting what it observes.
+ *
+ * The comparison is self-relative (same binary, same process, same
+ * machine), so no committed baseline is needed and the check holds on
+ * any hardware.  Each measured iteration rebuilds the pipeline from
+ * scratch: runPipeline is incremental over a warm graph, and a cached
+ * re-run would measure the memo table, not the instrumented work.
+ *
+ *   flight_overhead_check [--repeats N] [--max-ratio R]
+ *
+ * Exits 0 on pass, 1 when the enabled run exceeds the budget.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "graph/ops.h"
+#include "obs/events.h"
+#include "obs/obs.h"
+#include "trace/repair.h"
+#include "workload/catalog.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sosim;
+
+constexpr int kPopulation = 384;
+
+pipeline::PipelineSpec
+makeSpec()
+{
+    pipeline::PipelineSpec spec;
+    spec.dc.name = "flight_overhead_check";
+    spec.dc.topology.suites = 2;
+    spec.dc.topology.msbsPerSuite = 2;
+    spec.dc.topology.sbsPerMsb = 2;
+    spec.dc.topology.rppsPerSb = 2;
+    spec.dc.topology.racksPerRpp = 2;
+    spec.dc.intervalMinutes = 5;
+    spec.dc.weeks = 2;
+    spec.dc.seed = 33;
+    const int per_service = kPopulation / 3;
+    spec.dc.services.push_back({workload::webFrontend(), per_service});
+    spec.dc.services.push_back({workload::dbBackend(), per_service});
+    spec.dc.services.push_back({workload::hadoop(), per_service});
+    // Faulted input exercises the chattiest emitters (inject + repair +
+    // per-pair remap rejects), which is exactly the worst case the 5%
+    // budget has to cover.
+    spec.faulted = true;
+    spec.faultSeed = 7;
+    spec.faultProfile = "harsh";
+    spec.repairPolicy = trace::RepairPolicy::Interpolate;
+    return spec;
+}
+
+double
+runOnceMs()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    auto p = pipeline::buildPipeline(makeSpec());
+    const auto result = pipeline::runPipeline(p);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (result.opsExecuted == 0) {
+        std::cerr << "flight_overhead_check: fresh pipeline executed no "
+                     "ops — the measurement is not end-to-end\n";
+        std::exit(2);
+    }
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int repeats = 5;
+    double max_ratio = 1.05;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--repeats" && i + 1 < argc)
+            repeats = std::atoi(argv[++i]);
+        else if (arg == "--max-ratio" && i + 1 < argc)
+            max_ratio = std::atof(argv[++i]);
+        else {
+            std::cerr << "usage: flight_overhead_check [--repeats N] "
+                         "[--max-ratio R]\n";
+            return 2;
+        }
+    }
+
+    auto &rec = obs::EventRecorder::instance();
+    // Same ring size the CLI uses when a sink is requested, so the
+    // measurement covers the exact configuration users run.
+    rec.setCapacity(1U << 16U);
+
+    // One untimed warm-up settles allocator and page-cache state before
+    // either side is measured.
+    runOnceMs();
+
+    // Interleave disabled/enabled repeats so drift (thermal, competing
+    // load) hits both sides equally; best-of per side then cancels it.
+    double best_off = 1e300;
+    double best_on = 1e300;
+    std::uint64_t events_seen = 0;
+    for (int r = 0; r < repeats; ++r) {
+        rec.setEnabled(false);
+        rec.reset();
+        best_off = std::min(best_off, runOnceMs());
+
+        rec.reset();
+        rec.setEnabled(true);
+        best_on = std::min(best_on, runOnceMs());
+        rec.setEnabled(false);
+        events_seen = std::max(events_seen, rec.recorded());
+    }
+    rec.reset();
+
+    const double ratio = best_on / best_off;
+    std::cout << "flight_overhead_check: disabled " << best_off
+              << " ms, enabled " << best_on << " ms, ratio " << ratio
+              << " (budget " << max_ratio << "), " << events_seen
+              << " events/run\n";
+#if SOSIM_OBS_ENABLED
+    if (events_seen == 0) {
+        std::cerr << "flight_overhead_check: enabled run recorded no "
+                     "events — the instrumented path was not exercised\n";
+        return 2;
+    }
+#endif
+    if (ratio > max_ratio) {
+        std::cerr << "flight_overhead_check: recorder-enabled report "
+                     "exceeded the end-to-end overhead budget\n";
+        return 1;
+    }
+    std::cout << "flight_overhead_check: PASS\n";
+    return 0;
+}

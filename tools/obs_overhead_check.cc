@@ -9,6 +9,14 @@
  * absolute speed, so the check holds on any hardware: the instrumented
  * build must keep at least 95% of the recorded speedup.
  *
+ * Since the flight recorder landed, the measured path also carries the
+ * SOSIM_EVENT macros compiled in but *idle* (recorder disabled): the
+ * macro is a relaxed load and a branch when no sink is attached, and
+ * this check is the regression gate proving that stays free.  The
+ * recorder is asserted idle before and after the measurement so a
+ * stray setEnabled can't silently turn this into an enabled-path
+ * measurement.
+ *
  *   obs_overhead_check path/to/BENCH_pr1_kernel_layer.json
  *
  * Exits 0 on pass, 1 on regression, 77 (ctest SKIP_RETURN_CODE) when
@@ -25,6 +33,7 @@
 
 #include "core/asynchrony.h"
 #include "core/service_traces.h"
+#include "obs/events.h"
 #include "util/parallel.h"
 #include "workload/catalog.h"
 #include "workload/generator.h"
@@ -117,6 +126,15 @@ main(int argc, char **argv)
         return 77;
     }
 
+    // The recorder must be idle: no events stored, enabled() false, so
+    // the measurement below exercises the compiled-but-dormant path.
+    auto &rec = obs::EventRecorder::instance();
+    if (rec.enabled() || !rec.collect().empty()) {
+        std::cerr << "obs_overhead_check: flight recorder is not idle "
+                     "before measurement\n";
+        return 2;
+    }
+
     const auto dc = makeDc();
     const auto traces = dc.trainingTraces();
     std::vector<std::size_t> service_of(dc.instanceCount());
@@ -146,6 +164,12 @@ main(int argc, char **argv)
                      "more than 5% of the recorded speedup\n";
         return 1;
     }
-    std::cout << "obs_overhead_check: PASS\n";
+    if (rec.enabled() || rec.recorded() != 0) {
+        std::cerr << "obs_overhead_check: flight recorder woke up during "
+                     "the measurement — the idle-path result is invalid\n";
+        return 2;
+    }
+    std::cout << "obs_overhead_check: PASS (recorder stayed idle, "
+              << rec.dropped() << " drops)\n";
     return 0;
 }

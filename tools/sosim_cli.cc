@@ -23,6 +23,7 @@
  *   sosim report --dc 2 --trace-tree --metrics-out metrics.json
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -37,7 +38,9 @@
 #include "fault/fault_plan.h"
 #include "fault/inject.h"
 #include "graph/ops.h"
+#include "obs/events.h"
 #include "obs/export.h"
+#include "obs/trace_export.h"
 #include "power/assignment_io.h"
 #include "trace/io.h"
 #include "trace/repair.h"
@@ -80,7 +83,8 @@ class Args
                   std::initializer_list<const char *> allowed) const
     {
         static constexpr const char *kCommon[] = {
-            "trace-tree", "metrics-out", "metrics-format"};
+            "trace-tree", "metrics-out", "metrics-format",
+            "flight-record", "chrome-trace"};
         for (const auto &[key, pos] : positions_) {
             bool known = false;
             for (const char *f : kCommon)
@@ -364,6 +368,29 @@ cmdReport(const Args &args)
 }
 
 int
+cmdExplain(const Args &args)
+{
+    const std::string path = args.require("record");
+    std::ifstream in(path);
+    SOSIM_REQUIRE(in.good(), "cannot open --record file " + path);
+    std::vector<obs::JournalEvent> events;
+    std::string error;
+    SOSIM_REQUIRE(obs::readEventJournal(in, events, &error),
+                  "explain: " + error + " in " + path);
+    SOSIM_REQUIRE(args.has("instance") != args.has("node"),
+                  "explain: pass exactly one of --instance ID or "
+                  "--node SIG");
+    obs::ExplainQuery query;
+    if (args.has("instance"))
+        query.instance = std::strtoull(args.require("instance").c_str(),
+                                       nullptr, 0);
+    else
+        query.node =
+            std::strtoull(args.require("node").c_str(), nullptr, 0);
+    return obs::explainRecord(std::cout, events, query) ? 0 : 1;
+}
+
+int
 usage()
 {
     std::cerr <<
@@ -379,6 +406,12 @@ usage()
         "  report    --dc 1|2|3 [--scale S] [--interval M]\n"
         "            [--max-swaps N] [--fault-plan SEED[:PROFILE]]\n"
         "            [--what-if KEY=VALUE,...]\n"
+        "  explain   --record FILE (--instance ID | --node SIG)\n"
+        "\n"
+        "explain: reconstruct the causal decision history of one\n"
+        "instance (swaps, rejects, faults, repairs, exclusions, plus\n"
+        "the weekly monitor verdicts) or one graph-node signature from\n"
+        "a journal written by --flight-record.\n"
         "\n"
         "what-if: report builds the pipeline as an op graph; --what-if\n"
         "re-evaluates it under an overlay, recomputing only the cone\n"
@@ -397,7 +430,11 @@ usage()
         "observability flags (any command):\n"
         "  --trace-tree            print the span tree after the run\n"
         "  --metrics-out FILE      dump metrics + spans to FILE\n"
-        "  --metrics-format F      json (default) or prom\n";
+        "  --metrics-format F      json (default) or prom\n"
+        "  --flight-record FILE    record decision events; write the\n"
+        "                          JSONL journal to FILE\n"
+        "  --chrome-trace FILE     record decision events; write a\n"
+        "                          chrome://tracing timeline to FILE\n";
     return 2;
 }
 
@@ -426,6 +463,30 @@ emitObservability(const Args &args, const std::string &command)
         std::cout << "wrote metrics (" << format << ") to "
                   << metrics_out << "\n";
     }
+    const std::string record_out = args.get("flight-record", "");
+    const std::string chrome_out = args.get("chrome-trace", "");
+    if (record_out.empty() && chrome_out.empty())
+        return;
+    // One drain feeds both sinks so the files agree event-for-event.
+    obs::EventRecorder &rec = obs::EventRecorder::instance();
+    const auto events = rec.collect();
+    if (!record_out.empty()) {
+        std::ofstream out(record_out);
+        SOSIM_REQUIRE(out.good(),
+                      "cannot open --flight-record file " + record_out);
+        obs::writeEventJournal(out, events, "sosim-" + command);
+        std::cout << "wrote flight record (" << events.size()
+                  << " events, " << rec.dropped() << " dropped) to "
+                  << record_out << "\n";
+    }
+    if (!chrome_out.empty()) {
+        std::ofstream out(chrome_out);
+        SOSIM_REQUIRE(out.good(),
+                      "cannot open --chrome-trace file " + chrome_out);
+        obs::writeChromeTrace(out, events, "sosim-" + command);
+        std::cout << "wrote chrome trace (" << events.size()
+                  << " events) to " << chrome_out << "\n";
+    }
 }
 
 } // namespace
@@ -438,6 +499,15 @@ main(int argc, char **argv)
     const std::string command = argv[1];
     try {
         Args args(argc, argv, 2);
+        // Recording must be live before the command runs; it is off by
+        // default so instrumented sites stay one-load-and-branch cheap.
+        // A full report emits tens of thousands of decisions, so widen
+        // the per-shard rings well past the library default (memory is
+        // still bounded: shards grow lazily and only when written to).
+        if (args.has("flight-record") || args.has("chrome-trace")) {
+            obs::EventRecorder::instance().setCapacity(1U << 16U);
+            obs::EventRecorder::instance().setEnabled(true);
+        }
         int rc = -1;
         if (command == "generate") {
             args.rejectUnknown(command, {"dc", "scale", "interval",
@@ -462,6 +532,9 @@ main(int argc, char **argv)
                                 "seed", "max-swaps", "fault-plan",
                                 "what-if"});
             rc = cmdReport(args);
+        } else if (command == "explain") {
+            args.rejectUnknown(command, {"record", "instance", "node"});
+            rc = cmdExplain(args);
         }
         if (rc < 0) {
             std::cerr << "unknown command '" << command << "'\n";
