@@ -102,6 +102,14 @@ fingerprintDistributeConfig(const PlacementConfig &c)
     return h;
 }
 
+/**
+ * Deliberately excludes RemapConfig::shards and shardLevel: the shard
+ * plan only shapes the fan-out of the swap scan, never its result (the
+ * sharded reduction reproduces the unsharded visit order exactly — see
+ * trace/shard.h), so a what-if that merely re-shards reuses the cached
+ * refinement.  The prune knobs *do* change the searched pair space and
+ * are all hashed.
+ */
 inline std::uint64_t
 fingerprintRemapConfig(const RemapConfig &c)
 {
@@ -113,6 +121,11 @@ fingerprintRemapConfig(const RemapConfig &c)
     std::memcpy(&bits, &c.minValidFraction, sizeof(bits));
     h = graph::hashCombine(h, bits);
     h = graph::hashCombine(h, static_cast<std::uint64_t>(c.kernels));
+    h = graph::hashCombine(h, static_cast<std::uint64_t>(c.prune));
+    h = graph::hashCombine(h, c.pruneClusters);
+    std::memcpy(&bits, &c.pruneKeepFraction, sizeof(bits));
+    h = graph::hashCombine(h, bits);
+    h = graph::hashCombine(h, c.pruneSeed);
     return h;
 }
 

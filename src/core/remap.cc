@@ -4,11 +4,13 @@
 #include <array>
 #include <limits>
 
+#include "cluster/candidate_index.h"
 #include "core/asynchrony.h"
 #include "graph/graph.h"
 #include "obs/obs.h"
 #include "trace/arena.h"
 #include "trace/kernels.h"
+#include "trace/shard.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -16,8 +18,10 @@ namespace sosim::core {
 
 namespace {
 
-/** Sentinel for "this rack owns no arena row" (empty racks). */
-constexpr trace::TraceId kNoRow = static_cast<trace::TraceId>(-1);
+/** Bucket count of the diurnal-shape embedding behind PruneMode::kCluster
+ *  (see cluster::shapePoints); enough to separate day/night phases
+ *  without making the k-means pass itself noticeable. */
+constexpr std::size_t kShapeBuckets = 16;
 
 /**
  * Mutable per-rack state kept while searching for swaps.  The aggregate
@@ -27,10 +31,15 @@ constexpr trace::TraceId kNoRow = static_cast<trace::TraceId>(-1);
  * scores and others-peaks are cached too: they only change when a swap
  * touches the rack, so rounds that merely mark a rack as tried reuse
  * them wholesale.
+ *
+ * Every rack — occupied or not — owns one aggregate row, allocated in
+ * racks() order, so the rows of one ShardPlan shard form a contiguous,
+ * cache-line-aligned arena block (trace/shard.h): tasks evaluating
+ * different shards never touch the same aggregate cache line.
  */
 struct RackState {
     std::vector<std::size_t> members;
-    trace::TraceId aggRow = kNoRow;
+    trace::TraceId aggRow = 0;
     double aggPeak = 0.0;
     double peakSum = 0.0; // Sum of member peaks.
     /**
@@ -56,7 +65,7 @@ rackAsynchrony(const RackState &rack)
     return rack.peakSum / rack.aggPeak;
 }
 
-/** Best swap found while scanning one (candidate, rack B) pair. */
+/** Best swap found while scanning one (candidate, shard) task. */
 struct LocalBest {
     double gain = 0.0;
     std::size_t posB = 0;
@@ -67,19 +76,22 @@ struct LocalBest {
  * Per-task reject tallies for the flight recorder.  The pair scan
  * rejects tens of thousands of pairings per run, so journaling one
  * event per pair would let the recorder dominate the scan it observes;
- * instead each (candidate, rack B) task tallies its rejects by reason
+ * instead each (candidate, shard) task tallies its rejects by reason
  * (index = RejectReason - 1) and remembers the nearest miss — the
  * rejected partner with the smallest score deficit — and the round
  * reduces the tallies to one event per candidate per reason.  Filled
  * only while the recorder is live.
  */
 struct RejectTally {
-    std::array<std::uint64_t, 3> counts{};
-    std::array<std::size_t, 3> nearInst{kNoInstance, kNoInstance,
-                                        kNoInstance};
-    std::array<double, 3> nearBefore{};
-    std::array<double, 3> nearAfter{};
-    std::array<double, 3> nearMargin{kNoMargin, kNoMargin, kNoMargin};
+    static constexpr std::size_t kReasons = 4;
+
+    std::array<std::uint64_t, kReasons> counts{};
+    std::array<std::size_t, kReasons> nearInst{kNoInstance, kNoInstance,
+                                               kNoInstance, kNoInstance};
+    std::array<double, kReasons> nearBefore{};
+    std::array<double, kReasons> nearAfter{};
+    std::array<double, kReasons> nearMargin{kNoMargin, kNoMargin,
+                                            kNoMargin, kNoMargin};
 
     static constexpr std::size_t kNoInstance =
         static_cast<std::size_t>(-1);
@@ -116,6 +128,23 @@ struct RejectTally {
     }
 };
 
+/**
+ * Per-(candidate, shard) accumulator of the parallel swap scan, padded
+ * to its own cache line so concurrent tasks never false-share: each
+ * task writes only its slot, and the serial reduction walks the slots
+ * in (candidate, shard) order afterwards — which visits racks in the
+ * same global order as the unsharded nested loop (shard ranges
+ * concatenate in rack order, see trace/shard.h), so the first-max
+ * tie-breaking is identical for any shard or thread count.
+ */
+struct alignas(64) ShardSlot {
+    LocalBest best;
+    /** Pairs that reached a kernel pass (passed validity + prune). */
+    std::uint64_t evaluated = 0;
+    /** Pairs skipped by the cluster candidate index before any pass. */
+    std::uint64_t pruned = 0;
+};
+
 /** Mode-routed kernels: strict preserves the reference scan order. */
 double
 peakOfAddScaledDiffMode(trace::KernelMode mode, trace::TraceView c,
@@ -138,6 +167,9 @@ Remapper::Remapper(const power::PowerTree &tree, RemapConfig config)
     SOSIM_REQUIRE(config.minValidFraction >= 0.0 &&
                       config.minValidFraction <= 1.0,
                   "Remapper: minValidFraction must be in [0, 1]");
+    SOSIM_REQUIRE(config.pruneKeepFraction > 0.0 &&
+                      config.pruneKeepFraction <= 1.0,
+                  "Remapper: pruneKeepFraction must be in (0, 1]");
 }
 
 std::vector<double>
@@ -224,30 +256,90 @@ Remapper::refineInPlace(power::Assignment &assignment,
     // rows live in one SoA arena: the whole swap scan walks contiguous
     // 64-byte-aligned rows instead of chasing per-series allocations.
     // Row ids: [0, N) instance traces (TraceId == instance index), then
-    // one aggregate row per occupied rack, then candidate scratch rows.
+    // one aggregate row per rack — every rack, in racks() order, so each
+    // shard of the plan below owns a contiguous row block — then the
+    // candidate scratch rows.
     const auto rack_ids = tree_.racks();
     trace::TraceArena arena = trace::TraceArena::fromSeries(
         itraces, rack_ids.size() + config_.candidatesPerRound);
     // Warm the per-instance stats rows up front: the parallel candidate
-    // evaluation below reads them from worker threads.
-    for (trace::TraceId id = 0; id < itraces.size(); ++id)
-        arena.stats(id);
+    // evaluation below reads them from worker threads.  Each index fills
+    // only its own lazy slot (distinct LazyStatsSlot objects), which is
+    // the per-index-slot discipline the parallelFor contract requires.
+    util::parallelFor(itraces.size(),
+                      [&](std::size_t id) { arena.stats(id); });
+
+    // Shard the racks into contiguous ranges aligned to their power
+    // subtree at config.shardLevel (the DFS construction order of the
+    // tree keeps any ancestor's racks contiguous in racks()).  The scan
+    // below fans out (candidate, shard) tasks; the shard count shapes
+    // only the fan-out, never the result (see trace/shard.h).
+    std::vector<std::size_t> group_of(rack_ids.size());
+    for (std::size_t r = 0; r < rack_ids.size(); ++r) {
+        power::NodeId ancestor = rack_ids[r];
+        while (tree_.node(ancestor).level != config_.shardLevel &&
+               tree_.node(ancestor).parent != power::kNoNode)
+            ancestor = tree_.node(ancestor).parent;
+        group_of[r] = static_cast<std::size_t>(ancestor);
+    }
+    const std::size_t target_shards =
+        config_.shards > 0 ? config_.shards : util::threadCount() * 2;
+    const trace::ShardPlan plan =
+        trace::ShardPlan::build(group_of, target_shards);
+    const std::size_t shard_count = plan.shardCount();
+    SOSIM_GAUGE_SET("remap.shards", shard_count);
 
     // Build per-rack state once; aggregates are maintained incrementally
-    // after every accepted swap rather than rebuilt.
+    // after every accepted swap rather than rebuilt.  Rows are claimed
+    // serially (allocation order is the layout contract above); the
+    // fills fan out per rack, each writing only its own row and state.
     std::vector<RackState> racks(tree_.nodeCount());
     const auto per_rack = tree_.instancesPerRack(assignment);
+    const trace::TraceId agg_base = arena.size();
     for (const auto rack : rack_ids) {
-        auto &state = racks[rack];
-        state.members = per_rack[rack];
+        racks[rack].members = per_rack[rack];
+        racks[rack].aggRow = arena.addZeros();
+    }
+    util::parallelFor(rack_ids.size(), [&](std::size_t r) {
+        auto &state = racks[rack_ids[r]];
         if (state.members.empty())
-            continue;
-        state.aggRow = arena.addZeros();
+            return;
         double *agg = arena.mutableRow(state.aggRow);
         for (const auto i : state.members) {
             state.aggPeak = trace::accumulatePeakRow(agg, arena.view(i));
             state.peakSum += arena.stats(i).peak;
         }
+    });
+    // One ArenaShardView per shard over its aggregate-row block, handed
+    // to evaluation tasks so a task only ever reads rows of its shard.
+    std::vector<trace::ArenaShardView> shard_rows;
+    shard_rows.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s)
+        shard_rows.emplace_back(arena, agg_base + plan.range(s).begin,
+                                plan.range(s).size());
+
+    // The cluster candidate index (when pruning): embed every trace's
+    // diurnal shape, cluster once, and let the scan skip partners from
+    // clusters too synchronous with the candidate's before any kernel
+    // pass runs.
+    const bool prune =
+        config_.prune == PruneMode::kCluster && itraces.size() >= 2;
+    cluster::CandidatePairIndex prune_index;
+    if (prune) {
+        SOSIM_SPAN("remap.prune_index");
+        std::vector<const double *> trace_rows(itraces.size());
+        for (trace::TraceId id = 0; id < itraces.size(); ++id)
+            trace_rows[id] = arena.row(id);
+        const auto points = cluster::shapePoints(
+            trace_rows, arena.samplesPerTrace(), kShapeBuckets);
+        cluster::CandidateIndexConfig index_config;
+        index_config.clusters = config_.pruneClusters;
+        index_config.keepFraction = config_.pruneKeepFraction;
+        index_config.seed = config_.pruneSeed;
+        prune_index =
+            cluster::CandidatePairIndex::build(points, index_config);
+        SOSIM_GAUGE_SET("remap.prune_clusters",
+                        prune_index.clusterCount());
     }
 
     // Scratch rows for the per-candidate "aggregate minus leaver" diffs.
@@ -348,12 +440,15 @@ Remapper::refineInPlace(power::Assignment &assignment,
         SOSIM_EVENT_SCOPE(.kind = obs::EventKind::Scope,
                           .label = "remap.round", .a = round,
                           .c = worst_rack);
-        // Refresh member caches serially before the parallel scan; after
-        // the first round only the (at most two) racks the last swap
-        // touched recompute anything.
-        for (const auto rack : rack_ids)
-            if (!racks[rack].members.empty())
-                refreshCache(racks[rack]);
+        // Refresh member caches before the parallel scan; after the
+        // first round only the (at most two) racks the last swap
+        // touched recompute anything.  Fanned out per rack — each body
+        // writes only its own rack's cache vectors, and the nested
+        // parallelFor inside refreshCache runs inline in a worker.
+        util::parallelFor(rack_ids.size(), [&](std::size_t r) {
+            if (!racks[rack_ids[r]].members.empty())
+                refreshCache(racks[rack_ids[r]]);
+        });
 
         // 2. Members with the worst differential asynchrony scores.
         std::vector<std::pair<double, std::size_t>> scored(
@@ -373,20 +468,24 @@ Remapper::refineInPlace(power::Assignment &assignment,
         // Hoist the per-candidate "rack A minus leaver" row and its peak
         // out of the pair scan: one materializing pass per candidate
         // replaces a peakOfDiff + three-stream fused pass per *pair*.
+        // Fanned out per candidate; each writes only its scratch row.
         const std::size_t others_a = rack_a.members.size() - 1;
         std::vector<double> cand_others_peak(candidates, 0.0);
-        for (std::size_t c = 0; c < candidates; ++c)
+        util::parallelFor(candidates, [&](std::size_t c) {
             cand_others_peak[c] = trace::diffPeakRow(
                 arena.mutableRow(scratch[c]), arena.view(rack_a.aggRow),
                 arena.view(scored[c].second));
+        });
 
-        // 3. Best improving swap across all other racks: evaluate every
-        // (candidate, rack B) pair independently in parallel, then reduce
-        // serially in the exact order of the equivalent nested loop so
-        // ties resolve identically for any thread count.
-        const std::size_t tasks = candidates * rack_ids.size();
-        SOSIM_COUNT_ADD("remap.pairs_evaluated", tasks);
-        std::vector<LocalBest> local(tasks);
+        // 3. Best improving swap across all other racks: one task per
+        // (candidate, shard) evaluates that shard's racks against the
+        // candidate, accumulating into its own cache-line-sized slot;
+        // the serial reduction below then walks the slots in
+        // (candidate, shard) order — rack order, since shard ranges
+        // concatenate in order — so ties resolve identically to the
+        // unsharded nested loop for any thread or shard count.
+        const std::size_t tasks = candidates * shard_count;
+        std::vector<ShardSlot> local(tasks);
         // Reject journaling is tallied per task and reduced to one
         // event per candidate per reason after the scan (see
         // RejectTally) — never emitted from inside the hot loop.
@@ -394,95 +493,125 @@ Remapper::refineInPlace(power::Assignment &assignment,
             SOSIM_OBS_ENABLED != 0 &&
             obs::EventRecorder::instance().enabled();
         std::vector<RejectTally> tally(recording ? tasks : 0);
-        util::parallelFor(tasks, [&](std::size_t task) {
-            const std::size_t c = task / rack_ids.size();
-            const power::NodeId rack_b_id = rack_ids[task % rack_ids.size()];
-            if (rack_b_id == worst_rack)
-                return;
-            const auto &rack_b = racks[rack_b_id];
-            if (rack_b.members.empty())
-                return;
+        const auto scanTask = [&](std::size_t task) {
+            const std::size_t c = task / shard_count;
+            const std::size_t s = task % shard_count;
+            const trace::ShardRange &shard = plan.range(s);
+            const trace::ArenaShardView &shard_aggs = shard_rows[s];
             const std::size_t inst_a = scored[c].second;
             const double score_a_before = scored[c].first;
             const trace::TraceView inst_a_row = arena.view(inst_a);
             const double inst_a_peak = arena.stats(inst_a).peak;
             const trace::TraceView others_a_row = arena.view(scratch[c]);
-            const trace::TraceView agg_b = arena.view(rack_b.aggRow);
-            const std::size_t others_b = rack_b.members.size() - 1;
-            const double scale_b =
-                others_b == 0 ? 0.0
-                              : 1.0 / static_cast<double>(others_b);
-
-            LocalBest &best = local[task];
-            for (std::size_t pos_b = 0; pos_b < rack_b.members.size();
-                 ++pos_b) {
-                const std::size_t inst_b = rack_b.members[pos_b];
-                if (!swappable(inst_b)) {
-                    if (recording)
-                        tally[task].note(obs::RejectReason::ValidityGate,
-                                         inst_b, 0.0, 0.0);
+            const std::size_t cluster_a =
+                prune ? prune_index.clusterOf(inst_a) : 0;
+            ShardSlot &slot = local[task];
+            for (std::size_t r = shard.begin; r < shard.end; ++r) {
+                const power::NodeId rack_b_id = rack_ids[r];
+                if (rack_b_id == worst_rack)
                     continue;
-                }
-                // Post-swap score of B at rack A first: it is the
-                // cheaper pass (two streams against the hoisted row),
-                // and a pair failing the improve-at-A rule skips the
-                // improve-at-B evaluation entirely.  Pure reordering of
-                // the paper's accept test — the accepted set is
-                // unchanged.
-                const double score_a_after = diffScoreHoisted(
-                    arena.view(inst_b), arena.stats(inst_b).peak,
-                    others_a_row, cand_others_peak[c], others_a,
-                    score_a_before);
-                if (score_a_after <= score_a_before) {
-                    if (recording)
-                        tally[task].note(obs::RejectReason::EarlyReject,
-                                         inst_b, score_a_before,
-                                         score_a_after);
+                const auto &rack_b = racks[rack_b_id];
+                if (rack_b.members.empty())
                     continue;
-                }
-                const double score_b_before = rack_b.scoreBefore[pos_b];
-                double score_b_after;
-                if (others_b == 0) {
-                    score_b_after = 2.0;
-                } else {
-                    const double numerator =
-                        inst_a_peak + scale_b * rack_b.othersPeak[pos_b];
-                    const double aggregate_peak =
-                        mode == trace::KernelMode::kBlocked
-                            ? trace::peakOfAddScaledDiffBlocked(
-                                  inst_a_row, agg_b, arena.view(inst_b),
-                                  scale_b)
-                            : trace::peakOfAddScaledDiffEarlyReject(
-                                  inst_a_row, agg_b, arena.view(inst_b),
-                                  scale_b, numerator, score_b_before);
-                    score_b_after = aggregate_peak <= 0.0
-                                        ? 0.0
-                                        : numerator / aggregate_peak;
-                }
-                // Accept only swaps improving both nodes (paper rule).
-                if (score_b_after <= score_b_before) {
-                    if (recording)
-                        tally[task].note(
-                            obs::RejectReason::NoImprovement, inst_b,
-                            score_b_before, score_b_after);
-                    continue;
-                }
-                const double gain = (score_a_after - score_a_before) +
-                                    (score_b_after - score_b_before);
-                if (gain > best.gain) {
-                    best.gain = gain;
-                    best.posB = pos_b;
-                    best.record.instanceA = inst_a;
-                    best.record.instanceB = inst_b;
-                    best.record.rackA = worst_rack;
-                    best.record.rackB = rack_b_id;
-                    best.record.scoreAtABefore = score_a_before;
-                    best.record.scoreAtAAfter = score_a_after;
-                    best.record.scoreAtBBefore = score_b_before;
-                    best.record.scoreAtBAfter = score_b_after;
+                const trace::TraceView agg_b =
+                    shard_aggs.view(r - shard.begin);
+                const std::size_t others_b = rack_b.members.size() - 1;
+                const double scale_b =
+                    others_b == 0 ? 0.0
+                                  : 1.0 / static_cast<double>(others_b);
+                for (std::size_t pos_b = 0;
+                     pos_b < rack_b.members.size(); ++pos_b) {
+                    const std::size_t inst_b = rack_b.members[pos_b];
+                    if (!swappable(inst_b)) {
+                        if (recording)
+                            tally[task].note(
+                                obs::RejectReason::ValidityGate, inst_b,
+                                0.0, 0.0);
+                        continue;
+                    }
+                    // Cluster prune: partners whose diurnal shape falls
+                    // in a cluster too synchronous with the candidate's
+                    // never reach a kernel pass.
+                    if (prune &&
+                        !prune_index.allowed(
+                            cluster_a, prune_index.clusterOf(inst_b))) {
+                        ++slot.pruned;
+                        if (recording)
+                            tally[task].note(obs::RejectReason::Pruned,
+                                             inst_b, 0.0, 0.0);
+                        continue;
+                    }
+                    ++slot.evaluated;
+                    // Post-swap score of B at rack A first: it is the
+                    // cheaper pass (two streams against the hoisted
+                    // row), and a pair failing the improve-at-A rule
+                    // skips the improve-at-B evaluation entirely.  Pure
+                    // reordering of the paper's accept test — the
+                    // accepted set is unchanged.
+                    const double score_a_after = diffScoreHoisted(
+                        arena.view(inst_b), arena.stats(inst_b).peak,
+                        others_a_row, cand_others_peak[c], others_a,
+                        score_a_before);
+                    if (score_a_after <= score_a_before) {
+                        if (recording)
+                            tally[task].note(
+                                obs::RejectReason::EarlyReject, inst_b,
+                                score_a_before, score_a_after);
+                        continue;
+                    }
+                    const double score_b_before =
+                        rack_b.scoreBefore[pos_b];
+                    double score_b_after;
+                    if (others_b == 0) {
+                        score_b_after = 2.0;
+                    } else {
+                        const double numerator =
+                            inst_a_peak +
+                            scale_b * rack_b.othersPeak[pos_b];
+                        const double aggregate_peak =
+                            mode == trace::KernelMode::kBlocked
+                                ? trace::peakOfAddScaledDiffBlocked(
+                                      inst_a_row, agg_b,
+                                      arena.view(inst_b), scale_b)
+                                : trace::peakOfAddScaledDiffEarlyReject(
+                                      inst_a_row, agg_b,
+                                      arena.view(inst_b), scale_b,
+                                      numerator, score_b_before);
+                        score_b_after = aggregate_peak <= 0.0
+                                            ? 0.0
+                                            : numerator / aggregate_peak;
+                    }
+                    // Accept only improving-both-nodes swaps (paper).
+                    if (score_b_after <= score_b_before) {
+                        if (recording)
+                            tally[task].note(
+                                obs::RejectReason::NoImprovement, inst_b,
+                                score_b_before, score_b_after);
+                        continue;
+                    }
+                    const double gain =
+                        (score_a_after - score_a_before) +
+                        (score_b_after - score_b_before);
+                    LocalBest &best = slot.best;
+                    if (gain > best.gain) {
+                        best.gain = gain;
+                        best.posB = pos_b;
+                        best.record.instanceA = inst_a;
+                        best.record.instanceB = inst_b;
+                        best.record.rackA = worst_rack;
+                        best.record.rackB = rack_b_id;
+                        best.record.scoreAtABefore = score_a_before;
+                        best.record.scoreAtAAfter = score_a_after;
+                        best.record.scoreAtBBefore = score_b_before;
+                        best.record.scoreAtBAfter = score_b_after;
+                    }
                 }
             }
-        });
+        };
+        // One chunk per task: shard occupancy varies, so dynamic claims
+        // load-balance uneven shards across the pool lanes.
+        util::parallelFor(tasks, scanTask,
+                          util::ParallelForOptions{2, tasks});
 
         if (recording) {
             // One journal event per candidate per reject reason: the
@@ -490,11 +619,12 @@ Remapper::refineInPlace(power::Assignment &assignment,
             // story a per-pair log would bury in repetition.
             for (std::size_t c = 0; c < candidates; ++c) {
                 RejectTally sum;
-                for (std::size_t r = 0; r < rack_ids.size(); ++r)
-                    sum.merge(tally[c * rack_ids.size() + r]);
+                for (std::size_t s = 0; s < shard_count; ++s)
+                    sum.merge(tally[c * shard_count + s]);
                 const std::size_t inst_a = scored[c].second;
                 (void)inst_a; // Only read by the event when obs is on.
-                for (std::uint32_t code = 1; code <= 3; ++code) {
+                for (std::uint32_t code = 1; code <= RejectTally::kReasons;
+                     ++code) {
                     const std::size_t idx = code - 1;
                     if (sum.counts[idx] == 0)
                         continue;
@@ -511,13 +641,21 @@ Remapper::refineInPlace(power::Assignment &assignment,
         SwapRecord best;
         double best_gain = 0.0;
         std::size_t best_b_pos = 0;
-        for (const auto &lb : local) {
-            if (lb.gain > best_gain) {
-                best_gain = lb.gain;
-                best = lb.record;
-                best_b_pos = lb.posB;
+        std::uint64_t evaluated_pairs = 0;
+        std::uint64_t pruned_pairs = 0;
+        for (const auto &slot : local) {
+            evaluated_pairs += slot.evaluated;
+            pruned_pairs += slot.pruned;
+            if (slot.best.gain > best_gain) {
+                best_gain = slot.best.gain;
+                best = slot.best.record;
+                best_b_pos = slot.best.posB;
             }
         }
+        SOSIM_COUNT_ADD("remap.pairs_evaluated", evaluated_pairs);
+        SOSIM_COUNT_ADD("remap.pairs_pruned", pruned_pairs);
+        (void)evaluated_pairs; // Only read by the counters when obs on.
+        (void)pruned_pairs;
 
         if (best_gain > 0.0) {
             // Apply the swap and update both racks' state incrementally.

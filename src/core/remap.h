@@ -12,6 +12,7 @@
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "power/power_tree.h"
@@ -19,6 +20,18 @@
 #include "trace/time_series.h"
 
 namespace sosim::core {
+
+/**
+ * Candidate-pair pruning strategy for the swap scan.  kOff evaluates
+ * every (candidate, partner) pair — the exhaustive reference, exactly
+ * the pre-prune behavior, bit for bit.  kCluster builds a
+ * cluster::CandidatePairIndex over the population's diurnal shapes once
+ * per refine() call and skips partners whose embedding cluster is
+ * outside the candidate's allowed set before any kernel pass runs —
+ * sublinear effective pair space, final score within a small epsilon of
+ * exhaustive (tests/test_prune.cc pins both properties).
+ */
+enum class PruneMode { kOff, kCluster };
 
 /** Parameters of the swap-based refinement. */
 struct RemapConfig {
@@ -46,6 +59,44 @@ struct RemapConfig {
      * but the contract is only ULP-bounded.
      */
     trace::KernelMode kernels = trace::KernelMode::kStrict;
+    /**
+     * Candidate-pair pruning (see PruneMode).  kOff is bit-identical to
+     * the exhaustive scan; kCluster trades an epsilon of final score for
+     * a much smaller pair space at fleet populations.
+     */
+    PruneMode prune = PruneMode::kOff;
+    /**
+     * Cluster count for the kCluster embedding; 0 picks
+     * ceil(sqrt(population)) clamped to [2, 32].  Ignored when prune is
+     * kOff.
+     */
+    std::size_t pruneClusters = 0;
+    /**
+     * Fraction of clusters each candidate may partner with, farthest
+     * centroids first (asynchronous shapes live far apart in the
+     * embedding).  Clamped per build to keep at least one cluster; 1.0
+     * keeps every cluster, making kCluster score-equivalent to kOff.
+     */
+    double pruneKeepFraction = 0.5;
+    /** Seed of the k-means embedding behind kCluster. */
+    std::uint64_t pruneSeed = 42;
+    /**
+     * Shard count for the swap scan's rack partition; 0 (default) picks
+     * 2x the pool thread count.  Shards are contiguous, subtree-aligned
+     * rack ranges (trace::ShardPlan), so per-shard aggregate rows live
+     * in disjoint cache-line blocks and the serial reduction over
+     * (candidate, shard, rack) order reproduces the unsharded
+     * (candidate, rack) order exactly — the shard count never changes
+     * results, only the fan-out shape.
+     */
+    std::size_t shards = 0;
+    /**
+     * Power-tree level whose subtrees shard boundaries must respect
+     * (racks under one ancestor at this level never straddle shards).
+     * Defaults to the suite bus level; coarser levels give fewer, larger
+     * groups.
+     */
+    power::Level shardLevel = power::Level::Sb;
 };
 
 /** One accepted swap, for reporting. */

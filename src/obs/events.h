@@ -95,6 +95,9 @@ enum class RejectReason : std::uint32_t {
     /** Passed at A but failed improve-at-B, or the round found no
      *  positive-gain swap at all. */
     NoImprovement = 3,
+    /** Skipped before any kernel pass: the partner's embedding cluster
+     *  is outside the candidate's allowed set (RemapConfig::prune). */
+    Pruned = 4,
 };
 
 /** Which scheduled fault a FaultInject event applied (Event::code). */

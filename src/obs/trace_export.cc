@@ -107,6 +107,8 @@ rejectReasonName(std::uint32_t code)
         return "validity_gate";
       case RejectReason::NoImprovement:
         return "no_improvement";
+      case RejectReason::Pruned:
+        return "pruned";
     }
     return "unknown";
 }
@@ -956,9 +958,13 @@ describe(const JournalEvent &e)
             os << "excluded by the validity gate";
         else if (reason == "no_improvement")
             os << "showed no net improvement after the full swap";
+        else if (reason == "pruned")
+            os << "pruned by the cluster candidate index before "
+                  "evaluation";
         else
             os << "rejected: " << reason;
-        if (reason != "validity_gate" && !arg(e, "nearest").empty())
+        if (reason != "validity_gate" && reason != "pruned" &&
+            !arg(e, "nearest").empty())
             os << "; nearest miss: instance " << arg(e, "nearest")
                << ", score " << arg(e, "score_before") << " -> "
                << arg(e, "score_after");

@@ -1,0 +1,107 @@
+#include "shard.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sosim::trace {
+
+ShardPlan
+ShardPlan::build(const std::vector<std::size_t> &group_of,
+                 std::size_t target_shards)
+{
+    ShardPlan plan;
+    plan.items_ = group_of.size();
+    if (group_of.empty())
+        return plan;
+
+    // Collect the group boundaries (first item of every group run) and
+    // reject interleaved groups: a group split across two runs would
+    // force a shard to own non-contiguous items.
+    std::vector<std::size_t> starts{0};
+    for (std::size_t i = 1; i < group_of.size(); ++i)
+        if (group_of[i] != group_of[i - 1])
+            starts.push_back(i);
+    {
+        std::vector<std::size_t> run_ids;
+        run_ids.reserve(starts.size());
+        for (const std::size_t s : starts)
+            run_ids.push_back(group_of[s]);
+        std::sort(run_ids.begin(), run_ids.end());
+        SOSIM_REQUIRE(std::adjacent_find(run_ids.begin(),
+                                         run_ids.end()) == run_ids.end(),
+                      "ShardPlan: items of one group must be contiguous");
+    }
+
+    const std::size_t groups = starts.size();
+    const std::size_t shards =
+        std::max<std::size_t>(1, std::min(target_shards, groups));
+
+    // Greedy balanced merge: walk the groups in order and close the
+    // current shard once it holds its fair share of the items still
+    // unassigned.  Deterministic, and every shard boundary is a group
+    // boundary by construction.
+    std::size_t begin = 0;
+    std::size_t next_group = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t shards_left = shards - s;
+        const std::size_t items_left = group_of.size() - begin;
+        const std::size_t fair =
+            (items_left + shards_left - 1) / shards_left;
+        std::size_t end = begin;
+        while (next_group < groups) {
+            // Taking a group must leave at least one group for each of
+            // the shards after this one.
+            const std::size_t groups_after = groups - next_group - 1;
+            const bool starves_later = groups_after < shards_left - 1;
+            if (end > begin && (end - begin >= fair || starves_later))
+                break;
+            end = next_group + 1 < groups ? starts[next_group + 1]
+                                          : group_of.size();
+            ++next_group;
+        }
+        // The last shard absorbs every remaining group.
+        if (s + 1 == shards) {
+            end = group_of.size();
+            next_group = groups;
+        }
+        plan.ranges_.push_back({begin, end});
+        begin = end;
+    }
+    return plan;
+}
+
+const ShardRange &
+ShardPlan::range(std::size_t s) const
+{
+    SOSIM_REQUIRE(s < ranges_.size(),
+                  "ShardPlan::range: shard index out of range");
+    return ranges_[s];
+}
+
+std::size_t
+ShardPlan::shardOf(std::size_t i) const
+{
+    SOSIM_REQUIRE(i < items_, "ShardPlan::shardOf: item out of range");
+    // First shard whose end exceeds i.
+    std::size_t lo = 0;
+    std::size_t hi = ranges_.size();
+    while (lo + 1 < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (ranges_[mid].begin <= i)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+TraceView
+ArenaShardView::view(std::size_t i) const
+{
+    SOSIM_REQUIRE(arena_ != nullptr && i < count_,
+                  "ArenaShardView::view: row out of range");
+    return arena_->view(firstRow_ + i);
+}
+
+} // namespace sosim::trace

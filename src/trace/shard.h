@@ -1,0 +1,127 @@
+#ifndef SOSIM_TRACE_SHARD_H
+#define SOSIM_TRACE_SHARD_H
+
+/**
+ * @file
+ * Shard plans over ordered row collections and shard views of an arena.
+ *
+ * Fleet-scale consumers of the TraceArena (core::remap's per-rack
+ * running-sum rows) fan work out across threads.  A ShardPlan partitions
+ * an ordered index space [0, n) into contiguous ranges so that
+ *
+ *   - each shard owns a contiguous run of items (and, when the items are
+ *     arena rows allocated in plan order, a contiguous, cache-line-
+ *     aligned block of arena memory — writers of different shards never
+ *     share a line);
+ *   - shard boundaries respect caller-provided *group* boundaries (racks
+ *     grouped by their power subtree: suite, MSB or SB), so one shard's
+ *     aggregate rows all hang under the same few subtrees and per-shard
+ *     accumulation matches the physical power-tree hierarchy;
+ *   - concatenating the shards in shard order reproduces the original
+ *     item order exactly.  This is what keeps sharded evaluation
+ *     deterministic: a serial reduction that walks shards in order and
+ *     items within each shard in order visits items in the same global
+ *     order as the unsharded loop, for any shard count.
+ *
+ * The plan itself is pure data (no arena reference); ArenaShardView
+ * binds one shard's contiguous row block to an arena for row access.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/arena.h"
+
+namespace sosim::trace {
+
+/** One contiguous [begin, end) slice of the partitioned index space. */
+struct ShardRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+    bool empty() const { return begin == end; }
+};
+
+/**
+ * A contiguous, group-aligned partition of [0, n) into shards.
+ * Immutable once built; value semantics.
+ */
+class ShardPlan
+{
+  public:
+    /** An empty plan (no items, no shards). */
+    ShardPlan() = default;
+
+    /**
+     * Partition [0, group_of.size()) into at most `target_shards`
+     * contiguous ranges without splitting any group.
+     *
+     * @param group_of      Group id of every item; items of one group
+     *                      must be contiguous (the power tree's DFS
+     *                      construction order guarantees this for racks
+     *                      grouped by any ancestor level).  Group ids
+     *                      themselves carry no meaning beyond equality.
+     * @param target_shards Desired shard count; the plan balances item
+     *                      counts greedily and never exceeds it.  0 or 1
+     *                      yields a single shard covering everything.
+     *                      More shards than groups clamps to the group
+     *                      count.
+     */
+    static ShardPlan build(const std::vector<std::size_t> &group_of,
+                           std::size_t target_shards);
+
+    /** Number of shards (0 for an empty plan). */
+    std::size_t shardCount() const { return ranges_.size(); }
+
+    /** Total number of partitioned items. */
+    std::size_t itemCount() const { return items_; }
+
+    /** The contiguous item range of shard `s` (checked). */
+    const ShardRange &range(std::size_t s) const;
+
+    /** Shard owning item `i` (checked; binary search). */
+    std::size_t shardOf(std::size_t i) const;
+
+    /** All ranges, in shard order (concatenation covers [0, n)). */
+    const std::vector<ShardRange> &ranges() const { return ranges_; }
+
+  private:
+    std::vector<ShardRange> ranges_;
+    std::size_t items_ = 0;
+};
+
+/**
+ * A non-owning view of one shard's contiguous row block in an arena:
+ * rows [firstRow, firstRow + count).  Used by core::remap to hand each
+ * evaluation task the aggregate rows of exactly its shard; the block is
+ * contiguous because the rows were allocated in shard order.
+ */
+class ArenaShardView
+{
+  public:
+    ArenaShardView() = default;
+
+    ArenaShardView(const TraceArena &arena, TraceId first_row,
+                   std::size_t count)
+        : arena_(&arena), firstRow_(first_row), count_(count)
+    {}
+
+    /** Rows in this shard's block. */
+    std::size_t size() const { return count_; }
+
+    /** Arena-global id of local row `i`. */
+    TraceId rowId(std::size_t i) const { return firstRow_ + i; }
+
+    /** View of local row `i` (checked against the block size). */
+    TraceView view(std::size_t i) const;
+
+  private:
+    const TraceArena *arena_ = nullptr;
+    TraceId firstRow_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace sosim::trace
+
+#endif // SOSIM_TRACE_SHARD_H

@@ -225,19 +225,30 @@ void
 parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
             std::size_t min_grain)
 {
+    parallelFor(n, body, ParallelForOptions{min_grain, 0});
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
+            const ParallelForOptions &options)
+{
     if (n == 0)
         return;
     const std::size_t workers = threadCount();
-    if (workers <= 1 || n < min_grain || t_inWorker) {
+    if (workers <= 1 || n < options.minGrain || t_inWorker) {
         SOSIM_COUNT("pool.inline_runs");
         for (std::size_t i = 0; i < n; ++i)
             body(i);
         return;
     }
 
-    // Contiguous chunks, one per lane (callers plus background workers);
-    // each index is executed exactly once regardless of scheduling.
-    const std::size_t lanes = std::min(workers, n);
+    // Contiguous chunks claimed dynamically by the pool lanes (callers
+    // plus background workers); each index is executed exactly once
+    // regardless of scheduling.  The default of one chunk per lane
+    // minimizes claim overhead; callers with uneven per-index work pass
+    // options.chunks > lanes to load-balance (see ParallelForOptions).
+    const std::size_t lanes =
+        std::min(options.chunks > 0 ? options.chunks : workers, n);
     std::vector<std::exception_ptr> errors(lanes);
 #if SOSIM_OBS_ENABLED
     // Spans opened inside worker chunks nest under the stage that

@@ -97,6 +97,29 @@ void setThreadCount(std::size_t n);
 void parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
                  std::size_t min_grain = 2);
 
+/** Tuning knobs for the options overload of parallelFor. */
+struct ParallelForOptions {
+    /** Run inline serially when n < minGrain. */
+    std::size_t minGrain = 2;
+    /**
+     * Number of contiguous chunks to split [0, n) into; 0 (default)
+     * uses one chunk per pool lane.  Chunks are claimed dynamically by
+     * whichever lane is free, so oversubscribing (chunks > lanes) load-
+     * balances *uneven* per-index work — e.g. remap's shard tasks,
+     * whose cost varies with shard occupancy — at the price of one
+     * atomic claim per chunk.  Results are independent of the chunk
+     * count (the determinism contract is per-index slot writes).
+     */
+    std::size_t chunks = 0;
+};
+
+/**
+ * Options overload: identical contract to parallelFor above, with
+ * explicit control over chunking (see ParallelForOptions::chunks).
+ */
+void parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
+                 const ParallelForOptions &options);
+
 } // namespace sosim::util
 
 #endif // SOSIM_UTIL_PARALLEL_H

@@ -130,4 +130,44 @@ buildAllDcSpecs(const PresetOptions &options)
             buildDc3Spec(options)};
 }
 
+DatacenterSpec
+buildFleetSpec(int population, const PresetOptions &options)
+{
+    SOSIM_REQUIRE(population > 0 && population % 256 == 0,
+                  "buildFleetSpec: population must be a positive "
+                  "multiple of 256");
+    DatacenterSpec spec;
+    spec.name = "fleet" + std::to_string(population);
+    spec.intervalMinutes = options.intervalMinutes;
+    spec.weeks = options.weeks;
+    spec.seed = options.seed + 7;
+
+    // ~8 instances per rack, 16 racks per SB, 2 MSBs per suite; the
+    // remaining SB count factors into suites x sbsPerMsb as near-square
+    // as possible.  population 1024 -> 2x2x2x4x4 = 128 racks; 4096 ->
+    // 4x2x4x4x4 = 512 racks.
+    const int sb_total = population / 128;
+    const int sb_pairs = sb_total / 2;
+    int suites = 1;
+    for (int d = 1; d * d <= sb_pairs; ++d)
+        if (sb_pairs % d == 0)
+            suites = d;
+    spec.topology.suites = suites;
+    spec.topology.msbsPerSuite = 2;
+    spec.topology.sbsPerMsb = sb_pairs / suites;
+    spec.topology.rppsPerSb = 4;
+    spec.topology.racksPerRpp = 4;
+
+    // Eight services, population/8 instances each, spanning the shape
+    // space: day-peaking LC (web, cache, search), flat batch (hadoop),
+    // day-peaking dev, night-peaking storage (db, lab) and an evening
+    // peak (instagram).
+    const int per_service = population / 8;
+    for (auto profile :
+         {webFrontend(), cache(), search(), hadoop(), devPool(),
+          dbBackend(), labServer(), instagram()})
+        spec.services.push_back({std::move(profile), per_service});
+    return spec;
+}
+
 } // namespace sosim::workload

@@ -47,6 +47,25 @@ DatacenterSpec buildDc3Spec(const PresetOptions &options = {});
 std::vector<DatacenterSpec> buildAllDcSpecs(
     const PresetOptions &options = {});
 
+/**
+ * Fleet-scale mixed datacenter sized to exactly `population` instances
+ * (~8 per rack), for the remap scaling scenarios (bench_report fleet
+ * rows, tests/test_golden.cc's fleet digest).
+ *
+ * Eight services of population/8 instances each span the catalog's
+ * shape space — day-peaking LC, flat batch, night-peaking storage,
+ * evening peaks — so the population clusters cleanly and the pruned
+ * swap scan has genuine asynchrony to find.  The topology is derived
+ * from the population (16 racks per SB, suites/SBs balanced), so rack
+ * count grows with the fleet instead of piling instances onto the
+ * bench topology.  `options.scale` is ignored (the population is
+ * explicit).
+ *
+ * @param population Instance count; must be a positive multiple of 256.
+ */
+DatacenterSpec buildFleetSpec(int population,
+                              const PresetOptions &options = {});
+
 } // namespace sosim::workload
 
 #endif // SOSIM_WORKLOAD_DC_PRESETS_H

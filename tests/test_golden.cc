@@ -41,6 +41,7 @@
 #include "util/parallel.h"
 #include "util/table.h"
 #include "workload/catalog.h"
+#include "workload/dc_presets.h"
 #include "workload/generator.h"
 
 namespace {
@@ -53,6 +54,9 @@ using namespace sosim;
 
 constexpr std::uint64_t kGoldenPipelineDigest = 0xe61fda27aed13ed4;
 constexpr std::uint64_t kGoldenFaultFingerprint = 0xb2672a1be3790ec1;
+// Fleet-scale remap digest (population 4096, sharded + cluster-pruned
+// swap scan; see fleetDigest below).  Same update procedure as above.
+constexpr std::uint64_t kGoldenFleetDigest = 0x98e83503b0275f74;
 
 // ---------------------------------------------------------------------
 // FNV-1a, the same construction FaultPlan::fingerprint uses.
@@ -154,6 +158,65 @@ TEST(Golden, PipelineDigestIsThreadCountInvariant)
     const auto pooled = pipelineDigest();
     util::setThreadCount(0); // Back to the default policy.
     EXPECT_EQ(serial, pooled);
+}
+
+/**
+ * Fleet-scale remap: oblivious placement of a 4096-instance mixed fleet,
+ * refined by the sharded, cluster-pruned swap scan.  The digest covers
+ * the refined assignment and the full swap plan (instances plus rounded
+ * scores), so it pins the fleet path's determinism the way
+ * pipelineDigest pins the bench-scale pipeline.
+ */
+std::uint64_t
+fleetDigest()
+{
+    workload::PresetOptions options;
+    options.intervalMinutes = 30;
+    options.weeks = 2;
+    const auto spec = workload::buildFleetSpec(4096, options);
+    const auto dc = workload::generate(spec);
+    const auto training = dc.trainingTraces();
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+        service_of[i] = dc.serviceOf(i);
+
+    power::PowerTree tree(spec.topology);
+    auto assignment = baseline::obliviousPlacement(tree, service_of);
+    core::RemapConfig config;
+    config.maxSwaps = 16;
+    config.prune = core::PruneMode::kCluster;
+    config.pruneKeepFraction = 0.25;
+    core::Remapper remapper(tree, config);
+    const auto swaps = remapper.refineInPlace(assignment, training);
+
+    Digest d;
+    for (const auto rack : assignment)
+        d.mix(static_cast<std::uint64_t>(rack));
+    d.mix(static_cast<std::uint64_t>(swaps.size()));
+    for (const auto &swap : swaps) {
+        d.mix(static_cast<std::uint64_t>(swap.instanceA));
+        d.mix(static_cast<std::uint64_t>(swap.instanceB));
+        d.mix(swap.scoreAtAAfter - swap.scoreAtABefore);
+        d.mix(swap.scoreAtBAfter - swap.scoreAtBBefore);
+    }
+    return d.h;
+}
+
+TEST(Golden, FleetDigestMatchesCommittedValueAtAnyThreadCount)
+{
+    util::setThreadCount(1);
+    const auto serial = fleetDigest();
+    util::setThreadCount(4);
+    const auto pooled = fleetDigest();
+    util::setThreadCount(0);
+    EXPECT_EQ(serial, pooled)
+        << "fleet digest differs between 1 and 4 threads — the sharded "
+           "scan broke the serial==parallel contract.";
+    EXPECT_EQ(serial, kGoldenFleetDigest)
+        << "Fleet digest changed. If intentional, update "
+           "kGoldenFleetDigest in tests/test_golden.cc to 0x"
+        << std::hex << serial
+        << " and explain the behavioral change in the commit message.";
 }
 
 TEST(Golden, FaultPlanFingerprintMatchesCommittedValue)

@@ -51,6 +51,7 @@
 #include "power/power_tree.h"
 #include "util/parallel.h"
 #include "workload/catalog.h"
+#include "workload/dc_presets.h"
 #include "workload/generator.h"
 
 namespace {
@@ -374,6 +375,70 @@ main(int argc, char **argv)
                 warm, pipeline::whatIfMaxSwaps(warm, 17 + ++tick));
         });
         rows.push_back(gp);
+    }
+
+    // Fleet-scale remap rows: populations far beyond the kernel sweep
+    // above, where the swap scan is only tractable with the sharded
+    // fan-out plus cluster pruning (RemapConfig::prune).  Coarser
+    // 30-minute traces keep the whole-fleet generation affordable; the
+    // remap cost drivers (pairs scanned x samples per pass) are
+    // preserved, just scaled — see EXPERIMENTS.md.  The extra
+    // remapRefineExhaustive row times the same population with pruning
+    // off, so the report carries its own ablation.
+    for (const int fleet_pop : {1024, 4096}) {
+        workload::PresetOptions fleet_opts;
+        fleet_opts.intervalMinutes = 30;
+        fleet_opts.weeks = 2;
+        const auto dc = workload::generate(
+            workload::buildFleetSpec(fleet_pop, fleet_opts));
+        const auto traces = dc.trainingTraces();
+        std::vector<std::size_t> service_of(dc.instanceCount());
+        for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+            service_of[i] = dc.serviceOf(i);
+        power::PowerTree tree(dc.spec().topology);
+        const int population = static_cast<int>(traces.size());
+        const std::size_t samples = traces.front().size();
+        std::cerr << "bench_report: fleet population " << population
+                  << " (" << samples << " samples/trace)\n";
+        const auto start = baseline::obliviousPlacement(tree, service_of);
+
+        core::RemapConfig rc;
+        rc.maxSwaps = 16;
+        rc.prune = core::PruneMode::kCluster;
+        rc.pruneKeepFraction = 0.25;
+        core::Remapper remapper(tree, rc);
+        Measurement rm{"remapRefine", population, samples};
+        util::setThreadCount(1);
+        rm.fusedThreads = util::threadCount();
+        rm.fusedMs = bestMs(repeats, [&] {
+            power::Assignment assignment = start;
+            remapper.refine(assignment, traces);
+        });
+        util::setThreadCount(pool_threads);
+        rm.pooledThreads = util::threadCount();
+        rm.pooledMs = bestMs(repeats, [&] {
+            power::Assignment assignment = start;
+            remapper.refine(assignment, traces);
+        });
+        rows.push_back(rm);
+
+        core::RemapConfig rc_off;
+        rc_off.maxSwaps = 16;
+        core::Remapper remapper_off(tree, rc_off);
+        Measurement ab{"remapRefineExhaustive", population, samples};
+        util::setThreadCount(1);
+        ab.fusedThreads = util::threadCount();
+        ab.fusedMs = bestMs(repeats, [&] {
+            power::Assignment assignment = start;
+            remapper_off.refine(assignment, traces);
+        });
+        util::setThreadCount(pool_threads);
+        ab.pooledThreads = util::threadCount();
+        ab.pooledMs = bestMs(repeats, [&] {
+            power::Assignment assignment = start;
+            remapper_off.refine(assignment, traces);
+        });
+        rows.push_back(ab);
     }
     util::setThreadCount(0);
 
