@@ -247,4 +247,20 @@ FragmentationMonitor::placementUpdated()
     window_.clear();
 }
 
+FragmentationMonitor::BaselineState
+FragmentationMonitor::baselineState() const
+{
+    BaselineState state;
+    state.window.assign(window_.begin(), window_.end());
+    state.weekCounter = weekCounter_;
+    return state;
+}
+
+void
+FragmentationMonitor::restoreBaselineState(const BaselineState &state)
+{
+    window_.assign(state.window.begin(), state.window.end());
+    weekCounter_ = state.weekCounter;
+}
+
 } // namespace sosim::core

@@ -208,6 +208,23 @@ class FragmentationMonitor
      */
     void placementUpdated();
 
+    /**
+     * Serialized judgment state — the sliding baseline window and the
+     * week counter — for serve-layer checkpoints (DESIGN.md section
+     * 14).  restoreBaselineState() is the exact inverse: a monitor
+     * restored from a checkpoint judges subsequent measurements
+     * identically to one that ingested the same weeks live.  History
+     * is not part of the state; a restored monitor's history restarts
+     * empty.
+     */
+    struct BaselineState {
+        std::vector<double> window;
+        std::size_t weekCounter = 0;
+    };
+
+    BaselineState baselineState() const;
+    void restoreBaselineState(const BaselineState &state);
+
     /** All observations so far, oldest first. */
     const std::vector<MonitorObservation> &history() const
     {

@@ -84,6 +84,16 @@ enum class EventKind : std::uint8_t {
     GraphCacheHit,
     /** A graph node marked dirty by an input change. */
     GraphDirty,
+    /** Serve ingest rejected a sample (code = serve::IngestStatus). */
+    IngestReject,
+    /** One serve epoch processed (a = epoch, c = action). */
+    EpochCommit,
+    /** A pending epoch snapshot shed under backpressure (a = epoch). */
+    EpochShed,
+    /** A serve checkpoint committed (a = epoch, b = bytes). */
+    CheckpointWrite,
+    /** Serve state restored from a checkpoint (a = epoch). */
+    CheckpointRestore,
 };
 
 /** Why remap rejected a candidate pairing (Event::code). */

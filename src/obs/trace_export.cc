@@ -133,6 +133,28 @@ faultCodeName(std::uint32_t code)
     return "unknown";
 }
 
+/** Reason name of an IngestReject event's code — mirrors the values of
+ *  serve::IngestStatus (obs must not depend on the serve layer). */
+const char *
+ingestRejectName(std::uint32_t code)
+{
+    switch (code) {
+      case 2:
+        return "stale";
+      case 3:
+        return "future";
+      case 4:
+        return "duplicate";
+      case 5:
+        return "nonfinite";
+      case 6:
+        return "negative";
+      case 7:
+        return "unknown_instance";
+    }
+    return "unknown";
+}
+
 /**
  * The kind-specific payload of one event as `"key": value` JSON object
  * members (no surrounding braces) — shared by the journal writer and
@@ -276,6 +298,33 @@ argsInner(const Event &e)
         str("op", rec.labelOf(e.name));
         u64("node", e.a);
         break;
+      case EventKind::IngestReject:
+        str("reason", ingestRejectName(e.code));
+        u64("instance", e.a);
+        u64("tick", e.b);
+        dbl("watts", e.x);
+        break;
+      case EventKind::EpochCommit:
+        u64("epoch", e.a);
+        u64("frontier", e.b);
+        u64("action", e.c);
+        u64("swaps", e.d);
+        dbl("fragmentation_ratio", e.x);
+        u64("degraded", e.code);
+        break;
+      case EventKind::EpochShed:
+        u64("epoch", e.a);
+        u64("queue_depth", e.b);
+        break;
+      case EventKind::CheckpointWrite:
+        u64("epoch", e.a);
+        u64("bytes", e.b);
+        u64("slot", e.c);
+        break;
+      case EventKind::CheckpointRestore:
+        u64("epoch", e.a);
+        u64("frontier", e.b);
+        break;
     }
     return os.str();
 }
@@ -310,6 +359,16 @@ eventKindName(EventKind kind)
         return "graph_cache_hit";
       case EventKind::GraphDirty:
         return "graph_dirty";
+      case EventKind::IngestReject:
+        return "ingest_reject";
+      case EventKind::EpochCommit:
+        return "epoch_commit";
+      case EventKind::EpochShed:
+        return "epoch_shed";
+      case EventKind::CheckpointWrite:
+        return "checkpoint_write";
+      case EventKind::CheckpointRestore:
+        return "checkpoint_restore";
     }
     return "unknown";
 }

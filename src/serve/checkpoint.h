@@ -1,0 +1,117 @@
+#ifndef SOSIM_SERVE_CHECKPOINT_H
+#define SOSIM_SERVE_CHECKPOINT_H
+
+/**
+ * @file
+ * Fingerprinted epoch checkpoints for the serve layer.
+ *
+ * The serving loop survives process death by committing its state after
+ * every processed epoch.  A checkpoint file is
+ *
+ *   [magic u64][version u64][shape fp u64][epoch u64]
+ *   [payload bytes u64][payload fp u64][payload ...]
+ *
+ * where the payload fingerprint is FNV-1a over the payload bytes and the
+ * shape fingerprint ties the file to the service configuration that
+ * wrote it (fleet size, window, epoch length, monitor/remap config,
+ * power tree) so a checkpoint can never be restored into a differently
+ * shaped service.  Files are written to a temporary name and renamed
+ * into place, so a crash mid-write leaves the previous file intact, and
+ * two slots (ckpt-a.bin / ckpt-b.bin) alternate by epoch parity, so
+ * even a torn rename falls back to the other slot.  restore picks the
+ * valid slot with the highest epoch; a corrupt, truncated or
+ * wrong-shape file is skipped (and counted), never trusted.
+ *
+ * The payload itself is opaque here: serve::Service serializes its
+ * fields through PayloadWriter/PayloadReader (u64 / double / vectors,
+ * doubles bit-exact), which is what makes a restored run replay
+ * bit-identically.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sosim::serve {
+
+/** Little serializer for checkpoint payloads (native-endian, packed). */
+class PayloadWriter
+{
+  public:
+    void u64(std::uint64_t v);
+    void f64(double v);
+    void u64Vector(const std::vector<std::uint64_t> &v);
+    void f64Vector(const std::vector<double> &v);
+
+    const std::string &bytes() const { return bytes_; }
+
+  private:
+    std::string bytes_;
+};
+
+/** Exact inverse of PayloadWriter; fails (returns false) on underrun. */
+class PayloadReader
+{
+  public:
+    explicit PayloadReader(const std::string &bytes) : bytes_(bytes) {}
+
+    bool u64(std::uint64_t &v);
+    bool f64(double &v);
+    bool u64Vector(std::vector<std::uint64_t> &v);
+    bool f64Vector(std::vector<double> &v);
+
+    /** True when every payload byte has been consumed. */
+    bool exhausted() const { return offset_ == bytes_.size(); }
+
+  private:
+    bool raw(void *out, std::size_t n);
+
+    const std::string &bytes_;
+    std::size_t offset_ = 0;
+};
+
+/** A validated checkpoint read back from disk. */
+struct Checkpoint {
+    /** Shape fingerprint of the service that wrote it. */
+    std::uint64_t shapeFingerprint = 0;
+    /** Last committed epoch. */
+    std::uint64_t epoch = 0;
+    /** Opaque service payload. */
+    std::string payload;
+};
+
+/** Path of one of the two alternating slots (0 or 1) under `dir`. */
+std::string checkpointSlotPath(const std::string &dir, int slot);
+
+/**
+ * Commit a checkpoint to slot (epoch % 2) under `dir`: serialize the
+ * header + payload to "<slot>.tmp", then rename over the slot file.
+ * Returns false (with *error set) on I/O failure; never throws.
+ */
+bool writeCheckpointFile(const std::string &dir, std::uint64_t shape_fp,
+                         std::uint64_t epoch, const std::string &payload,
+                         std::string *error);
+
+/**
+ * Read and validate one slot file.  Returns std::nullopt when the file
+ * is missing, truncated, corrupt (fingerprint mismatch), from a
+ * different format version, or from a differently-shaped service; a
+ * diagnosis lands in *error when given.
+ */
+std::optional<Checkpoint> readCheckpointFile(const std::string &path,
+                                             std::uint64_t expected_shape_fp,
+                                             std::string *error);
+
+/**
+ * The newest valid checkpoint under `dir`: both slots are read, invalid
+ * ones are skipped (counted under "serve.checkpoint.corrupt"), and the
+ * valid one with the highest epoch wins.  std::nullopt when neither
+ * slot is usable.
+ */
+std::optional<Checkpoint> latestCheckpoint(const std::string &dir,
+                                           std::uint64_t expected_shape_fp);
+
+} // namespace sosim::serve
+
+#endif // SOSIM_SERVE_CHECKPOINT_H

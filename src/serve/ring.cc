@@ -1,0 +1,343 @@
+#include "ring.h"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/obs.h"
+#include "util/error.h"
+
+namespace sosim::serve {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+} // namespace
+
+std::string
+ingestStatusName(IngestStatus s)
+{
+    switch (s) {
+      case IngestStatus::Accepted:
+        return "accepted";
+      case IngestStatus::AcceptedLate:
+        return "accepted_late";
+      case IngestStatus::RejectedStale:
+        return "rejected_stale";
+      case IngestStatus::RejectedFuture:
+        return "rejected_future";
+      case IngestStatus::RejectedDuplicate:
+        return "rejected_duplicate";
+      case IngestStatus::RejectedNonFinite:
+        return "rejected_nonfinite";
+      case IngestStatus::RejectedNegative:
+        return "rejected_negative";
+      case IngestStatus::RejectedUnknownInstance:
+        return "rejected_unknown_instance";
+    }
+    return "unknown";
+}
+
+StreamRing::StreamRing(std::size_t instances, std::size_t window,
+                       int interval_minutes)
+    : instances_(instances), window_(window),
+      intervalMinutes_(interval_minutes),
+      arena_(instances, window, interval_minutes),
+      filledTick_(instances * window, kEmpty), state_(instances)
+{
+    SOSIM_REQUIRE(instances > 0, "StreamRing: need at least one instance");
+    SOSIM_REQUIRE(window > 0, "StreamRing: window must be >= 1 tick");
+    for (std::size_t i = 0; i < instances_; ++i) {
+        const trace::TraceId id = arena_.addZeros();
+        double *row = arena_.mutableRow(id);
+        for (std::size_t s = 0; s < window_; ++s)
+            row[s] = kNaN;
+    }
+}
+
+double
+StreamRing::slot(std::size_t instance, std::size_t s) const
+{
+    return arena_.row(instance)[s];
+}
+
+IngestStatus
+StreamRing::reject(const Sample &s, IngestStatus reason)
+{
+    counts_[static_cast<std::size_t>(reason)].fetch_add(
+        1, std::memory_order_relaxed);
+    switch (reason) {
+      case IngestStatus::RejectedStale:
+        SOSIM_COUNT("serve.ingest.rejected_stale");
+        break;
+      case IngestStatus::RejectedFuture:
+        SOSIM_COUNT("serve.ingest.rejected_future");
+        break;
+      case IngestStatus::RejectedDuplicate:
+        SOSIM_COUNT("serve.ingest.rejected_duplicate");
+        break;
+      case IngestStatus::RejectedNonFinite:
+        SOSIM_COUNT("serve.ingest.rejected_nonfinite");
+        break;
+      case IngestStatus::RejectedNegative:
+        SOSIM_COUNT("serve.ingest.rejected_negative");
+        break;
+      case IngestStatus::RejectedUnknownInstance:
+        SOSIM_COUNT("serve.ingest.rejected_unknown_instance");
+        break;
+      default:
+        break;
+    }
+    SOSIM_EVENT(.kind = obs::EventKind::IngestReject,
+                .code = static_cast<std::uint32_t>(reason),
+                .a = s.instance, .b = s.tick,
+                .x = std::isfinite(s.watts) ? s.watts : 0.0);
+    {
+        std::lock_guard<std::mutex> lock(quarantineMutex_);
+        if (quarantine_.size() >= kQuarantineCapacity)
+            quarantine_.pop_front();
+        quarantine_.push_back(QuarantinedSample{s, reason});
+    }
+    return reason;
+}
+
+IngestStatus
+StreamRing::ingest(const Sample &s)
+{
+    if (s.instance >= instances_)
+        return reject(s, IngestStatus::RejectedUnknownInstance);
+    if (!std::isfinite(s.watts))
+        return reject(s, IngestStatus::RejectedNonFinite);
+    if (s.watts < 0.0)
+        return reject(s, IngestStatus::RejectedNegative);
+    if (s.tick > frontier_)
+        return reject(s, IngestStatus::RejectedFuture);
+    if (s.tick + window_ <= frontier_)
+        return reject(s, IngestStatus::RejectedStale);
+
+    const std::size_t slot_index = s.tick % window_;
+    std::uint64_t &fill =
+        filledTick_[s.instance * window_ + slot_index];
+    // An occupied slot inside the window can only hold this same tick
+    // (the eviction in advanceTo clears departing ticks), so occupied
+    // means duplicate.
+    if (fill != kEmpty)
+        return reject(s, IngestStatus::RejectedDuplicate);
+
+    fill = s.tick;
+    arena_.mutableRow(s.instance)[slot_index] = s.watts;
+
+    InstanceState &st = state_[s.instance];
+    st.stats.sum += s.watts;
+    st.stats.validCount += 1;
+    const bool late = s.tick < frontier_;
+    if (late) {
+        // A behind-the-frontier fill cannot enter the monotonic deque
+        // without breaking its tick ordering; mark the row for a one-off
+        // rescan instead.
+        st.dirty = true;
+        counts_[static_cast<std::size_t>(IngestStatus::AcceptedLate)]
+            .fetch_add(1, std::memory_order_relaxed);
+        SOSIM_COUNT("serve.ingest.accepted");
+        SOSIM_COUNT("serve.ingest.late");
+        return IngestStatus::AcceptedLate;
+    }
+    while (!st.peaks.empty() && st.peaks.back().value <= s.watts)
+        st.peaks.pop_back();
+    st.peaks.push_back(PeakEntry{s.tick, s.watts});
+    if (!st.dirty)
+        st.stats.peak = st.peaks.front().value;
+    counts_[static_cast<std::size_t>(IngestStatus::Accepted)].fetch_add(
+        1, std::memory_order_relaxed);
+    SOSIM_COUNT("serve.ingest.accepted");
+    return IngestStatus::Accepted;
+}
+
+void
+StreamRing::advanceTo(std::uint64_t tick)
+{
+    while (frontier_ < tick) {
+        const std::uint64_t next = frontier_ + 1;
+        const std::size_t slot_index =
+            static_cast<std::size_t>(next % window_);
+        for (std::size_t i = 0; i < instances_; ++i) {
+            std::uint64_t &fill = filledTick_[i * window_ + slot_index];
+            InstanceState &st = state_[i];
+            if (fill != kEmpty) {
+                const double old = slot(i, slot_index);
+                st.stats.sum -= old;
+                st.stats.validCount -= 1;
+                fill = kEmpty;
+                arena_.mutableRow(i)[slot_index] = kNaN;
+            }
+            // Entries whose tick just left the window sit at the deque
+            // front (ticks enter in increasing order).
+            while (!st.peaks.empty() &&
+                   st.peaks.front().tick + window_ <= next)
+                st.peaks.pop_front();
+            if (!st.dirty)
+                st.stats.peak =
+                    st.peaks.empty() ? 0.0 : st.peaks.front().value;
+        }
+        frontier_ = next;
+    }
+    SOSIM_GAUGE_SET("serve.ring.frontier", double(frontier_));
+}
+
+void
+StreamRing::rescanRow(std::size_t instance) const
+{
+    InstanceState &st = state_[instance];
+    st.stats = RunningWindowStats{};
+    st.peaks.clear();
+    const std::uint64_t first =
+        frontier_ + 1 >= window_ ? frontier_ + 1 - window_ : 0;
+    for (std::uint64_t t = first; t <= frontier_; ++t) {
+        const std::size_t slot_index =
+            static_cast<std::size_t>(t % window_);
+        if (filledTick_[instance * window_ + slot_index] == kEmpty)
+            continue;
+        const double v = slot(instance, slot_index);
+        st.stats.sum += v;
+        st.stats.validCount += 1;
+        while (!st.peaks.empty() && st.peaks.back().value <= v)
+            st.peaks.pop_back();
+        st.peaks.push_back(PeakEntry{t, v});
+    }
+    st.stats.peak = st.peaks.empty() ? 0.0 : st.peaks.front().value;
+    st.dirty = false;
+    SOSIM_COUNT("serve.ring.rescans");
+}
+
+const RunningWindowStats &
+StreamRing::stats(std::size_t instance) const
+{
+    SOSIM_REQUIRE(instance < instances_,
+                  "StreamRing::stats: instance out of range");
+    InstanceState &st = state_[instance];
+    if (st.dirty)
+        rescanRow(instance);
+    return st.stats;
+}
+
+std::vector<trace::TimeSeries>
+StreamRing::snapshotWindow() const
+{
+    std::vector<trace::TimeSeries> out;
+    out.reserve(instances_);
+    for (std::size_t i = 0; i < instances_; ++i) {
+        std::vector<double> samples(window_, kNaN);
+        for (std::size_t j = 0; j < window_; ++j) {
+            // Oldest-first: sample j covers tick frontier + 1 - window
+            // + j; ticks before the stream began stay NaN.
+            if (frontier_ + 1 + j < window_)
+                continue;
+            const std::uint64_t t = frontier_ + 1 + j - window_;
+            const std::size_t slot_index =
+                static_cast<std::size_t>(t % window_);
+            if (filledTick_[i * window_ + slot_index] != kEmpty)
+                samples[j] = slot(i, slot_index);
+        }
+        out.emplace_back(std::move(samples), intervalMinutes_);
+    }
+    return out;
+}
+
+std::vector<QuarantinedSample>
+StreamRing::quarantined() const
+{
+    std::lock_guard<std::mutex> lock(quarantineMutex_);
+    return std::vector<QuarantinedSample>(quarantine_.begin(),
+                                          quarantine_.end());
+}
+
+std::uint64_t
+StreamRing::acceptedCount() const
+{
+    return counts_[static_cast<std::size_t>(IngestStatus::Accepted)]
+               .load(std::memory_order_relaxed) +
+           counts_[static_cast<std::size_t>(IngestStatus::AcceptedLate)]
+               .load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+StreamRing::lateCount() const
+{
+    return counts_[static_cast<std::size_t>(IngestStatus::AcceptedLate)]
+        .load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+StreamRing::rejectedCount(IngestStatus reason) const
+{
+    SOSIM_REQUIRE(!ingestAccepted(reason),
+                  "StreamRing::rejectedCount: not a rejection reason");
+    return counts_[static_cast<std::size_t>(reason)].load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+StreamRing::rejectedTotal() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t r = 2; r < counts_.size(); ++r)
+        total += counts_[r].load(std::memory_order_relaxed);
+    return total;
+}
+
+std::vector<double>
+StreamRing::slotValues() const
+{
+    std::vector<double> out(instances_ * window_);
+    for (std::size_t i = 0; i < instances_; ++i)
+        for (std::size_t s = 0; s < window_; ++s)
+            out[i * window_ + s] = slot(i, s);
+    return out;
+}
+
+std::vector<std::uint64_t>
+StreamRing::slotFillTicks() const
+{
+    return filledTick_;
+}
+
+std::vector<std::uint64_t>
+StreamRing::counterValues() const
+{
+    std::vector<std::uint64_t> out(counts_.size());
+    for (std::size_t c = 0; c < counts_.size(); ++c)
+        out[c] = counts_[c].load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+StreamRing::restoreState(std::uint64_t frontier,
+                         const std::vector<double> &slot_values,
+                         const std::vector<std::uint64_t> &slot_fill_ticks,
+                         const std::vector<std::uint64_t> &counters)
+{
+    SOSIM_REQUIRE(slot_values.size() == instances_ * window_ &&
+                      slot_fill_ticks.size() == instances_ * window_ &&
+                      counters.size() == counts_.size(),
+                  "StreamRing::restoreState: payload shape mismatch");
+    frontier_ = frontier;
+    filledTick_ = slot_fill_ticks;
+    for (std::size_t i = 0; i < instances_; ++i) {
+        double *row = arena_.mutableRow(i);
+        for (std::size_t s = 0; s < window_; ++s)
+            row[s] = slot_values[i * window_ + s];
+    }
+    for (std::size_t c = 0; c < counts_.size(); ++c)
+        counts_[c].store(counters[c], std::memory_order_relaxed);
+    // Rebuild the incremental state from the restored slots so a
+    // restored ring is indistinguishable from one that streamed the
+    // same samples.
+    for (std::size_t i = 0; i < instances_; ++i)
+        rescanRow(i);
+    {
+        std::lock_guard<std::mutex> lock(quarantineMutex_);
+        quarantine_.clear();
+    }
+}
+
+} // namespace sosim::serve

@@ -44,6 +44,15 @@ writeCsv(std::ostream &os, const TraceBundle &bundle)
 
 namespace {
 
+/** Drop a trailing '\r': files written on Windows (or streamed through a
+ *  CRLF transport) read line-by-line as "...\r" under std::getline. */
+void
+stripCr(std::string &line)
+{
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+}
+
 std::vector<std::string>
 splitCsvLine(const std::string &line)
 {
@@ -67,6 +76,7 @@ readCsv(std::istream &is)
     // Header comment with the interval.
     SOSIM_REQUIRE(static_cast<bool>(std::getline(is, line)),
                   "readCsv: empty input");
+    stripCr(line);
     const std::string prefix = "# interval_minutes=";
     SOSIM_REQUIRE(line.rfind(prefix, 0) == 0,
                   "readCsv: missing '# interval_minutes=' header");
@@ -81,6 +91,7 @@ readCsv(std::istream &is)
     // Column names.
     SOSIM_REQUIRE(static_cast<bool>(std::getline(is, line)),
                   "readCsv: missing column-name row");
+    stripCr(line);
     TraceBundle bundle;
     bundle.names = splitCsvLine(line);
     SOSIM_REQUIRE(!bundle.names.empty(), "readCsv: no columns");
@@ -92,6 +103,7 @@ readCsv(std::istream &is)
     std::size_t line_no = 2; // Header and name rows already consumed.
     while (std::getline(is, line)) {
         ++line_no;
+        stripCr(line);
         if (line.empty())
             continue;
         const auto cells = splitCsvLine(line);

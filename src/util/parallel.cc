@@ -23,6 +23,9 @@ thread_local bool t_inWorker = false;
 /** User override from setThreadCount(); 0 means "resolve automatically". */
 std::atomic<std::size_t> g_override{0};
 
+/** User override from setPoolWatchdogMillis(); 0 means "resolve". */
+std::atomic<std::size_t> g_watchdogOverride{0};
+
 std::size_t
 resolveThreadCount()
 {
@@ -39,6 +42,22 @@ resolveThreadCount()
     return hw > 0 ? hw : 1;
 }
 
+std::size_t
+resolveWatchdogMillis()
+{
+    const std::size_t forced =
+        g_watchdogOverride.load(std::memory_order_relaxed);
+    if (forced > 0)
+        return forced;
+    if (const char *env = std::getenv("SOSIM_POOL_WATCHDOG_MS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    return 120000;
+}
+
 #if SOSIM_OBS_ENABLED
 /** Per-lane busy-time counter ("pool.worker.N.busy_nanos" / caller). */
 obs::Counter &
@@ -48,9 +67,38 @@ laneBusyCounter(const std::string &lane)
 }
 #endif
 
+/** chunkState values of a Job. */
+enum : unsigned char { kUnclaimed = 0, kRunning = 1, kDone = 2 };
+
+/**
+ * One fan-out's complete shared state, heap-allocated so a worker still
+ * executing a chunk after the submitter abandoned the job (watchdog
+ * fire) touches only memory the shared_ptr keeps alive — nothing on the
+ * submitter's dead stack frame.  chunkFn owns value copies of the body
+ * and the error slots for the same reason.  All other fields are
+ * guarded by the owning pool's mutex.
+ */
+struct Job {
+    std::function<void(std::size_t)> chunkFn;
+    std::size_t nextChunk = 0;
+    std::size_t totalChunks = 0;
+    std::size_t pendingChunks = 0;
+    std::size_t completedChunks = 0;
+    std::vector<unsigned char> chunkState;
+    /** The submitter gave up on this job; no new chunks are claimed. */
+    bool abandoned = false;
+};
+
+/** Internal signal from ThreadPool::run to parallelFor: the watchdog
+ *  fired and this chunk is the one that never finished. */
+struct PoolStuckError {
+    std::size_t chunk = 0;
+    std::size_t watchdogMs = 0;
+};
+
 /**
  * A minimal fixed-size pool executing one chunked loop at a time.  The
- * caller thread participates as chunk 0's worker, so a pool of size k
+ * caller thread participates as a lane of its own, so a pool of size k
  * uses k-1 background threads.
  */
 class ThreadPool
@@ -63,6 +111,8 @@ class ThreadPool
             threads_.emplace_back([this, t] { workerLoop(t); });
     }
 
+    /** Only safe on a healthy pool: a poisoned one has a worker wedged
+     *  inside a chunk and joining it would hang — retire it instead. */
     ~ThreadPool()
     {
         {
@@ -76,40 +126,78 @@ class ThreadPool
 
     std::size_t workers() const { return threads_.size(); }
 
+    /** A watchdog fired on this pool: one lane is wedged forever, so it
+     *  must never be joined (and should not take new jobs). */
+    bool poisoned() const
+    {
+        return poisoned_.load(std::memory_order_relaxed);
+    }
+
     /**
-     * Run `chunks` invocations of chunkFn (arguments 0..chunks-1) across
-     * the background workers plus the calling thread; blocks until all
-     * complete.  Only one job runs at a time (callers are serialized).
+     * Run the job's chunks (0..totalChunks-1) across the background
+     * workers plus the calling thread; blocks until all complete.  Only
+     * one job runs at a time (callers are serialized).  If no chunk
+     * completes for watchdog_ms while waiting, the job is abandoned and
+     * PoolStuckError is thrown with the stuck chunk.
      */
     void
-    run(std::size_t chunks, const std::function<void(std::size_t)> &chunkFn)
+    run(const std::shared_ptr<Job> &job, std::size_t watchdog_ms)
     {
         SOSIM_COUNT("pool.jobs");
-        SOSIM_COUNT_ADD("pool.chunks_run", chunks);
+        SOSIM_COUNT_ADD("pool.chunks_run", job->totalChunks);
         std::unique_lock<std::mutex> lock(mutex_);
         busy_.wait(lock, [this] { return !jobActive_; });
         jobActive_ = true;
-        chunkFn_ = &chunkFn;
-        nextChunk_ = 0;
-        pendingChunks_ = chunks;
-        totalChunks_ = chunks;
+        job_ = job;
         lock.unlock();
         wake_.notify_all();
 
         // The caller participates as a lane of its own, so it never just
         // blocks while the background workers drain the chunks.
-        helpOut();
+        helpOut(job);
 
         lock.lock();
-        done_.wait(lock, [this] { return pendingChunks_ == 0; });
-        chunkFn_ = nullptr;
+        // Progress-based deadline: every wait_for window that saw at
+        // least one chunk finish resets the clock, so only a genuinely
+        // wedged chunk — not a long job — fires the watchdog.
+        std::size_t seen = job->completedChunks;
+        while (job->pendingChunks != 0) {
+            if (done_.wait_for(lock,
+                               std::chrono::milliseconds(watchdog_ms),
+                               [&] { return job->pendingChunks == 0; }))
+                break;
+            if (job->completedChunks != seen) {
+                seen = job->completedChunks;
+                continue;
+            }
+            job->abandoned = true;
+            std::size_t stuck = job->totalChunks;
+            for (std::size_t c = 0; c < job->chunkState.size(); ++c)
+                if (job->chunkState[c] == kRunning) {
+                    stuck = c;
+                    break;
+                }
+            if (stuck == job->totalChunks)
+                for (std::size_t c = 0; c < job->chunkState.size(); ++c)
+                    if (job->chunkState[c] != kDone) {
+                        stuck = c;
+                        break;
+                    }
+            job_ = nullptr;
+            jobActive_ = false;
+            poisoned_.store(true, std::memory_order_relaxed);
+            busy_.notify_one();
+            throw PoolStuckError{stuck == job->totalChunks ? 0 : stuck,
+                                 watchdog_ms};
+        }
+        job_ = nullptr;
         jobActive_ = false;
         busy_.notify_one();
     }
 
   private:
     void
-    helpOut()
+    helpOut(const std::shared_ptr<Job> &job)
     {
 #if SOSIM_OBS_ENABLED
         static obs::Counter &busy = laneBusyCounter("caller");
@@ -120,19 +208,20 @@ class ThreadPool
             std::size_t chunk;
             {
                 std::lock_guard<std::mutex> lock(mutex_);
-                if (nextChunk_ >= totalChunks_)
+                if (job->abandoned || job->nextChunk >= job->totalChunks)
                     break;
-                chunk = nextChunk_++;
+                chunk = job->nextChunk++;
+                job->chunkState[chunk] = kRunning;
             }
 #if SOSIM_OBS_ENABLED
             const auto t0 = std::chrono::steady_clock::now();
-            runChunk(chunk);
+            runChunk(*job, chunk);
             busy.add(static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     std::chrono::steady_clock::now() - t0)
                     .count()));
 #else
-            runChunk(chunk);
+            runChunk(*job, chunk);
 #endif
         }
         t_inWorker = was;
@@ -148,37 +237,55 @@ class ThreadPool
 #endif
         t_inWorker = true;
         for (;;) {
+            std::shared_ptr<Job> job;
             std::size_t chunk;
             {
                 std::unique_lock<std::mutex> lock(mutex_);
                 wake_.wait(lock, [this] {
                     return stopping_ ||
-                           (chunkFn_ && nextChunk_ < totalChunks_);
+                           (job_ && !job_->abandoned &&
+                            job_->nextChunk < job_->totalChunks);
                 });
                 if (stopping_)
                     return;
-                chunk = nextChunk_++;
+                job = job_;
+                chunk = job->nextChunk++;
+                job->chunkState[chunk] = kRunning;
             }
 #if SOSIM_OBS_ENABLED
             const auto t0 = std::chrono::steady_clock::now();
-            runChunk(chunk);
+            runChunk(*job, chunk);
             busy.add(static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     std::chrono::steady_clock::now() - t0)
                     .count()));
 #else
-            runChunk(chunk);
+            runChunk(*job, chunk);
 #endif
         }
     }
 
     void
-    runChunk(std::size_t chunk)
+    runChunk(Job &job, std::size_t chunk)
     {
-        (*chunkFn_)(chunk);
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (--pendingChunks_ == 0)
-            done_.notify_all();
+        // RAII completion: the decrement + notify happen on every exit
+        // path, so a throwing chunkFn (it catches body exceptions
+        // itself, but belt and braces) can never strand pendingChunks
+        // above zero and deadlock the submitter's completion wait.
+        struct Complete {
+            ThreadPool *pool;
+            Job *job;
+            std::size_t chunk;
+            ~Complete()
+            {
+                std::lock_guard<std::mutex> lock(pool->mutex_);
+                job->chunkState[chunk] = kDone;
+                ++job->completedChunks;
+                if (--job->pendingChunks == 0)
+                    pool->done_.notify_all();
+            }
+        } complete{this, &job, chunk};
+        job.chunkFn(chunk);
     }
 
     std::mutex mutex_;
@@ -186,22 +293,46 @@ class ThreadPool
     std::condition_variable done_;
     std::condition_variable busy_;
     std::vector<std::thread> threads_;
-    const std::function<void(std::size_t)> *chunkFn_ = nullptr;
-    std::size_t nextChunk_ = 0;
-    std::size_t totalChunks_ = 0;
-    std::size_t pendingChunks_ = 0;
+    std::shared_ptr<Job> job_;
     bool jobActive_ = false;
     bool stopping_ = false;
+    std::atomic<bool> poisoned_{false};
 };
 
 std::mutex g_poolMutex;
 std::unique_ptr<ThreadPool> g_pool;
+
+/**
+ * Poisoned pools are parked here forever instead of being destroyed:
+ * their destructor would join the wedged worker and hang.  Allocated
+ * with new and never freed — globally reachable on purpose, so leak
+ * checkers treat the parked threads' stacks as live, not leaked.
+ */
+std::vector<std::unique_ptr<ThreadPool>> &
+poolGraveyard()
+{
+    static auto *graveyard =
+        new std::vector<std::unique_ptr<ThreadPool>>();
+    return *graveyard;
+}
+
+/** Retire the current pool into the graveyard (g_poolMutex held). */
+void
+retirePoolLocked()
+{
+    if (g_pool)
+        poolGraveyard().push_back(std::move(g_pool));
+}
 
 /** The pool, (re)created lazily to match the resolved thread count. */
 ThreadPool &
 pool(std::size_t want_workers)
 {
     std::lock_guard<std::mutex> lock(g_poolMutex);
+    if (g_pool && g_pool->poisoned())
+        retirePoolLocked();
+    // A healthy replaced pool is destroyed normally — its workers are
+    // idle and join immediately; only poisoned pools must be parked.
     if (!g_pool || g_pool->workers() != want_workers)
         g_pool = std::make_unique<ThreadPool>(want_workers);
     return *g_pool;
@@ -219,6 +350,12 @@ void
 setThreadCount(std::size_t n)
 {
     g_override.store(n, std::memory_order_relaxed);
+}
+
+void
+setPoolWatchdogMillis(std::size_t ms)
+{
+    g_watchdogOverride.store(ms, std::memory_order_relaxed);
 }
 
 void
@@ -249,7 +386,8 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
     // options.chunks > lanes to load-balance (see ParallelForOptions).
     const std::size_t lanes =
         std::min(options.chunks > 0 ? options.chunks : workers, n);
-    std::vector<std::exception_ptr> errors(lanes);
+    auto errors =
+        std::make_shared<std::vector<std::exception_ptr>>(lanes);
 #if SOSIM_OBS_ENABLED
     // Spans opened inside worker chunks nest under the stage that
     // submitted the fan-out, not under detached per-thread roots — and
@@ -258,32 +396,59 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
     obs::SpanNode *submitting_span = obs::currentSpan();
     const std::uint64_t submitting_scope = obs::currentEventScope();
 #endif
-    const std::function<void(std::size_t)> chunkFn =
-        [&](std::size_t chunk) {
+    auto job = std::make_shared<Job>();
+    job->totalChunks = lanes;
+    job->pendingChunks = lanes;
+    job->chunkState.assign(lanes, kUnclaimed);
+    // The body is captured by value: a chunk still running after a
+    // watchdog abandonment must not reach through a reference into the
+    // submitter's unwound stack frame.
+    job->chunkFn = [body_copy = body, errors, n, lanes
 #if SOSIM_OBS_ENABLED
-            obs::ScopedSpanAdopt adopt(submitting_span);
-            obs::ScopedEventParentAdopt adopt_scope(submitting_scope);
+                    ,
+                    submitting_span, submitting_scope
 #endif
-            const std::size_t lo = chunk * n / lanes;
-            const std::size_t hi = (chunk + 1) * n / lanes;
-            try {
-                for (std::size_t i = lo; i < hi; ++i)
-                    body(i);
-            } catch (...) {
-                errors[chunk] = std::current_exception();
-            }
-        };
+    ](std::size_t chunk) {
+#if SOSIM_OBS_ENABLED
+        obs::ScopedSpanAdopt adopt(submitting_span);
+        obs::ScopedEventParentAdopt adopt_scope(submitting_scope);
+#endif
+        const std::size_t lo = chunk * n / lanes;
+        const std::size_t hi = (chunk + 1) * n / lanes;
+        try {
+            for (std::size_t i = lo; i < hi; ++i)
+                body_copy(i);
+        } catch (...) {
+            (*errors)[chunk] = std::current_exception();
+        }
+    };
+
     // The caller is one lane, so only workers-1 background threads needed.
-    pool(workers - 1).run(lanes, chunkFn);
+    try {
+        pool(workers - 1).run(job, resolveWatchdogMillis());
+    } catch (const PoolStuckError &stuck) {
+        SOSIM_COUNT("pool.watchdog_fires");
+        {
+            std::lock_guard<std::mutex> lock(g_poolMutex);
+            retirePoolLocked();
+        }
+        const std::size_t lo = stuck.chunk * n / lanes;
+        const std::size_t hi = (stuck.chunk + 1) * n / lanes;
+        throw ParallelForError(
+            lo, hi,
+            "watchdog: no chunk completed for " +
+                std::to_string(stuck.watchdogMs) +
+                " ms; job abandoned and pool retired");
+    }
 
     for (std::size_t chunk = 0; chunk < lanes; ++chunk) {
-        if (!errors[chunk])
+        if (!(*errors)[chunk])
             continue;
         SOSIM_COUNT("pool.worker_exceptions");
         const std::size_t lo = chunk * n / lanes;
         const std::size_t hi = (chunk + 1) * n / lanes;
         try {
-            std::rethrow_exception(errors[chunk]);
+            std::rethrow_exception((*errors)[chunk]);
         } catch (const std::exception &e) {
             throw ParallelForError(lo, hi, e.what());
         }

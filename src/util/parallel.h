@@ -38,6 +38,11 @@ namespace sosim::util {
  * "pool.worker_exceptions" obs counter.  (The inline path — one thread,
  * tiny n, or a nested call — rethrows the original exception untouched;
  * there is no worker to attribute a range to.)
+ *
+ * Also thrown when the pool watchdog fires (see setPoolWatchdogMillis):
+ * a chunk that blocks forever inside a background worker would otherwise
+ * deadlock the submitting thread in its completion wait.  The error then
+ * carries the stuck chunk's range and the wedged pool is retired.
  */
 class ParallelForError : public std::runtime_error
 {
@@ -73,6 +78,20 @@ std::size_t threadCount();
  * running parallelFor calls.
  */
 void setThreadCount(std::size_t n);
+
+/**
+ * Watchdog deadline for pooled fan-outs, in milliseconds: when no chunk
+ * completes for this long while the submitting thread is waiting on the
+ * pool, the job is abandoned and parallelFor throws a ParallelForError
+ * naming the stuck chunk's index range instead of hanging forever (the
+ * wedged pool is retired; the next parallelFor gets a fresh one).  The
+ * deadline is progress-based — it resets every time any chunk finishes —
+ * so long jobs never fire it as long as the pool keeps moving.
+ *
+ * Resolution order: this override (0 restores automatic resolution) >
+ * the SOSIM_POOL_WATCHDOG_MS environment variable > 120000 (2 minutes).
+ */
+void setPoolWatchdogMillis(std::size_t ms);
 
 /**
  * Run body(i) for every i in [0, n), fanned out across the pool in

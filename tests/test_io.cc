@@ -137,6 +137,75 @@ TEST(TraceIo, SkipsBlankLines)
     EXPECT_EQ(bundle.traces[0].size(), 2u);
 }
 
+// The next four tests cover streaming-shaped inputs: telemetry dumps
+// arrive truncated (a tail being appended), CRLF-terminated (Windows
+// exporters), blank-line-padded, and occasionally enormous.
+
+TEST(TraceIo, AcceptsTruncatedFinalLine)
+{
+    // No trailing newline after the last row — exactly what reading a
+    // file mid-append looks like.  The complete rows must all parse.
+    std::istringstream is("# interval_minutes=5\na,b\n1,2\n3,4");
+    const auto bundle = trace::readCsv(is);
+    ASSERT_EQ(bundle.traces.size(), 2u);
+    ASSERT_EQ(bundle.traces[0].size(), 2u);
+    EXPECT_DOUBLE_EQ(bundle.traces[0][1], 3.0);
+    EXPECT_DOUBLE_EQ(bundle.traces[1][1], 4.0);
+}
+
+TEST(TraceIo, AcceptsCrlfLineEndings)
+{
+    std::istringstream is(
+        "# interval_minutes=5\r\na,b\r\n1,2\r\n3,4\r\n");
+    const auto bundle = trace::readCsv(is);
+    ASSERT_EQ(bundle.names.size(), 2u);
+    EXPECT_EQ(bundle.names[1], "b");
+    ASSERT_EQ(bundle.traces[0].size(), 2u);
+    EXPECT_DOUBLE_EQ(bundle.traces[1][0], 2.0);
+    EXPECT_DOUBLE_EQ(bundle.traces[1][1], 4.0);
+}
+
+TEST(TraceIo, SkipsInterleavedBlankLines)
+{
+    // Blank lines between every data row, in both LF and CRLF flavors
+    // (a bare "\r\n" body line strips down to empty and is skipped).
+    std::istringstream is(
+        "# interval_minutes=5\na,b\n\n1,2\n\r\n3,4\n\n\n5,6\n");
+    const auto bundle = trace::readCsv(is);
+    ASSERT_EQ(bundle.traces[0].size(), 3u);
+    EXPECT_DOUBLE_EQ(bundle.traces[0][2], 5.0);
+    EXPECT_DOUBLE_EQ(bundle.traces[1][2], 6.0);
+}
+
+TEST(TraceIo, ParsesSingleRowOverOneMegabyte)
+{
+    // One >1 MB row: many columns, one sample each — the widest shape a
+    // streaming exporter produces.  Values are a deterministic pattern
+    // so every parsed cell can be verified.
+    const std::size_t columns = 120000;
+    std::string header = "# interval_minutes=1\n";
+    std::string names, row;
+    for (std::size_t c = 0; c < columns; ++c) {
+        if (c) {
+            names += ',';
+            row += ',';
+        }
+        names += "i" + std::to_string(c);
+        row += std::to_string(double(c % 97) * 0.5);
+    }
+    const std::string text = header + names + "\n" + row + "\n";
+    ASSERT_GT(text.size(), std::size_t{1} << 20);
+    std::istringstream is(text);
+    const auto bundle = trace::readCsv(is);
+    ASSERT_EQ(bundle.traces.size(), columns);
+    for (std::size_t c = 0; c < columns; c += 997) {
+        ASSERT_EQ(bundle.traces[c].size(), 1u);
+        EXPECT_DOUBLE_EQ(bundle.traces[c][0], double(c % 97) * 0.5);
+    }
+    EXPECT_EQ(bundle.names[columns - 1],
+              "i" + std::to_string(columns - 1));
+}
+
 TEST(TraceIo, FileRoundTrip)
 {
     const std::string path = testing::TempDir() + "sosim_traces.csv";

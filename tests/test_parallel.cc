@@ -8,7 +8,9 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -108,6 +110,61 @@ TEST(ParallelFor, ThreadCountResolution)
     EXPECT_EQ(util::threadCount(), 3u);
     util::setThreadCount(0);
     EXPECT_GE(util::threadCount(), 1u);
+}
+
+// The state a stuck chunk touches after the watchdog abandons its job
+// must outlive the submitting call, so it is static (the chunk's copy
+// of the body holds pointers to it, not to the test's stack frame).
+std::atomic<bool> g_watchdogRelease{false};
+std::atomic<int> g_watchdogStuck{0};
+
+TEST(ParallelFor, WatchdogUnsticksSubmitterInsteadOfDeadlocking)
+{
+    ScopedThreads guard(4);
+    // Warm the pool so its background workers exist before the clock
+    // runs: pool creation must not eat into the watchdog window.
+    util::parallelFor(8, [](std::size_t) {});
+
+    util::setPoolWatchdogMillis(400);
+    g_watchdogRelease.store(false);
+    const auto main_id = std::this_thread::get_id();
+    std::atomic<bool> *release = &g_watchdogRelease;
+    std::atomic<int> *stuck = &g_watchdogStuck;
+
+    // Background-worker chunks wedge on the release flag; the caller's
+    // own chunks sleep past the claim phase and finish, so the caller
+    // reaches its completion wait with workers still stuck — exactly
+    // the hang this watchdog exists to break.
+    bool threw = false;
+    try {
+        util::parallelFor(8, [=](std::size_t) {
+            if (std::this_thread::get_id() == main_id) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+                return;
+            }
+            stuck->fetch_add(1);
+            while (!release->load())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+        });
+    } catch (const util::ParallelForError &e) {
+        threw = true;
+        EXPECT_LT(e.rangeBegin(), e.rangeEnd());
+        EXPECT_LE(e.rangeEnd(), 8u);
+    }
+    EXPECT_TRUE(threw);
+    EXPECT_GT(g_watchdogStuck.load(), 0);
+
+    // Let the wedged chunks drain in their parked pool, then prove the
+    // next fan-out gets a fresh, working pool.
+    g_watchdogRelease.store(true);
+    std::vector<std::atomic<int>> hits(64);
+    util::parallelFor(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+    util::setPoolWatchdogMillis(0);
 }
 
 TEST(ParallelDeterminism, ScoreVectorsBitIdenticalToSerialAndReference)

@@ -141,6 +141,64 @@ parseReport(const std::string &path)
     return rows;
 }
 
+/** The report-level hardware fields, as raw text ("" when absent —
+ *  reports written before the fields existed do not carry them). */
+struct Hardware {
+    std::string concurrency;
+    std::string oversubscribed;
+};
+
+Hardware
+parseHardware(const std::string &path)
+{
+    std::ifstream file(path);
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const std::string text = buffer.str();
+    // Only the document head: a row field could otherwise shadow the
+    // report-level ones.
+    const auto results = text.find("\"results\"");
+    const std::string head =
+        text.substr(0, results == std::string::npos ? text.size()
+                                                    : results);
+    Hardware hw;
+    hw.concurrency = rawField(head, "hardware_concurrency");
+    hw.oversubscribed = rawField(head, "oversubscribed");
+    return hw;
+}
+
+/**
+ * Warn (never fail) when the two reports ran on different hardware or
+ * with different oversubscription: their timings are still printed, but
+ * a cross-machine or cores-vs-oversubscribed comparison is not a
+ * regression signal.  Older reports without the fields warn once about
+ * the asymmetry instead of pretending the hardware matched.
+ */
+void
+warnOnHardwareMismatch(const std::string &base_path,
+                       const std::string &cur_path)
+{
+    const Hardware base = parseHardware(base_path);
+    const Hardware cur = parseHardware(cur_path);
+    if (base.concurrency.empty() && cur.concurrency.empty())
+        return;
+    if (base.concurrency.empty() || cur.concurrency.empty()) {
+        std::cout << "WARN hardware fields present in only one report ("
+                  << (base.concurrency.empty() ? cur_path : base_path)
+                  << "); cross-hardware timings may not be comparable\n";
+        return;
+    }
+    if (base.concurrency != cur.concurrency)
+        std::cout << "WARN hardware_concurrency differs: baseline "
+                  << base.concurrency << ", current " << cur.concurrency
+                  << " — timings may not be comparable\n";
+    if (base.oversubscribed != cur.oversubscribed)
+        std::cout << "WARN oversubscription differs: baseline "
+                  << base.oversubscribed << ", current "
+                  << cur.oversubscribed
+                  << " — pooled timings may not be comparable\n";
+}
+
 /** Relative slowdown of current vs baseline, in percent. */
 double
 regressionPct(double baseline_ms, double current_ms)
@@ -198,6 +256,7 @@ main(int argc, char **argv)
 
     const auto baseline = parseReport(files[0]);
     const auto current = parseReport(files[1]);
+    warnOnHardwareMismatch(files[0], files[1]);
     std::map<std::string, Row> current_by_key;
     for (const auto &row : current)
         current_by_key[keyOf(row)] = row;

@@ -33,6 +33,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/oblivious.h"
@@ -127,10 +128,20 @@ writeJson(std::ostream &os, const std::vector<Measurement> &rows,
     if (const std::tm *tm = std::gmtime(&now))
         std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", tm);
 
+    // Hardware honesty: record what the machine offered alongside what
+    // the run requested, so a report from an oversubscribed run (more
+    // pool threads than cores) can never masquerade as a clean one in a
+    // later comparison.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t hw_threads = hw > 0 ? hw : 1;
+
     os << "{\n";
     os << "  \"label\": \"" << label << "\",\n";
     os << "  \"timestamp_utc\": \"" << stamp << "\",\n";
     os << "  \"pool_threads\": " << pool_threads << ",\n";
+    os << "  \"hardware_concurrency\": " << hw_threads << ",\n";
+    os << "  \"oversubscribed\": "
+       << (pool_threads > hw_threads ? "true" : "false") << ",\n";
     os << "  \"kernel_isa\": \"" << trace::kernelIsaName() << "\",\n";
     os << "  \"repeats\": " << repeats << ",\n";
     os << "  \"results\": [\n";

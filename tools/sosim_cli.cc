@@ -7,6 +7,8 @@
  *   place     Derive a workload-aware placement from a trace CSV.
  *   evaluate  Score a placement (optionally against a baseline).
  *   report    Run the full pipeline on a preset datacenter.
+ *   serve     Stream a preset datacenter through the serving loop
+ *             (epoch snapshots, checkpoint/restore).
  *
  * Trace CSVs use the library interchange format (see trace/io.h); the
  * column names encode the service as "<service>@<index>", which `place`
@@ -23,7 +25,10 @@
  *   sosim report --dc 2 --trace-tree --metrics-out metrics.json
  */
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -31,6 +36,7 @@
 #include <vector>
 
 #include "baseline/oblivious.h"
+#include "core/fingerprints.h"
 #include "core/headroom.h"
 #include "core/monitor.h"
 #include "core/placement.h"
@@ -42,6 +48,7 @@
 #include "obs/export.h"
 #include "obs/trace_export.h"
 #include "power/assignment_io.h"
+#include "serve/service.h"
 #include "trace/io.h"
 #include "trace/repair.h"
 #include "util/error.h"
@@ -368,6 +375,104 @@ cmdReport(const Args &args)
 }
 
 int
+cmdServe(const Args &args)
+{
+    // The datacenter as a long-running service: generate the preset
+    // workload, then stream it into serve::Service one tick at a time
+    // instead of handing the whole week to the batch pipeline.
+    const auto spec = presetFromArgs(args);
+    const auto dc = workload::generate(spec);
+    power::PowerTree tree(spec.topology);
+    std::vector<std::size_t> service_of(dc.instanceCount());
+    for (std::size_t i = 0; i < service_of.size(); ++i)
+        service_of[i] = dc.serviceOf(i);
+    auto traces = dc.trainingTraces();
+
+    if (args.has("fault-plan")) {
+        const auto fp_spec =
+            fault::parseFaultPlanSpec(args.require("fault-plan"));
+        const auto plan = fault::FaultPlan::build(
+            fp_spec.seed, fault::faultProfile(fp_spec.profile),
+            {traces.size(), traces.front().size()});
+        traces = fault::injectedCopy(std::move(traces), plan).traces;
+    }
+
+    serve::ServeConfig config;
+    config.window =
+        static_cast<std::size_t>(args.getInt("window", 48));
+    config.epochTicks =
+        static_cast<std::size_t>(args.getInt("epoch-ticks", 24));
+    config.remap.maxSwaps = args.getInt("max-swaps", 16);
+    config.checkpointDir = args.get("checkpoint-dir", "");
+    if (!config.checkpointDir.empty())
+        std::filesystem::create_directories(config.checkpointDir);
+
+    const auto available = traces.front().size();
+    const std::uint64_t ticks = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(args.getInt("ticks", 96)), available);
+    SOSIM_REQUIRE(ticks > 0, "serve: no ticks to stream");
+
+    serve::Service svc(tree, service_of,
+                       baseline::obliviousPlacement(tree, service_of),
+                       spec.intervalMinutes, config);
+
+    std::uint64_t resume = 0;
+    if (args.has("restore")) {
+        SOSIM_REQUIRE(!config.checkpointDir.empty(),
+                      "serve: --restore needs --checkpoint-dir");
+        SOSIM_REQUIRE(svc.restoreLatest(),
+                      "serve: no usable checkpoint in " +
+                          config.checkpointDir);
+        resume = svc.ring().frontier() + 1;
+        std::cout << "restored epoch " << svc.committedEpoch()
+                  << ", resuming feed at tick " << resume << "\n";
+    }
+
+    // --kill-at-tick simulates process death: the loop stops cold,
+    // leaving whatever the last epoch checkpointed as the only durable
+    // state.  A later --restore run replays the rest of the feed and
+    // must land on the digest of an unbroken run.
+    std::uint64_t stop = ticks;
+    if (args.has("kill-at-tick"))
+        stop = std::min<std::uint64_t>(
+            stop, static_cast<std::uint64_t>(
+                      args.getInt("kill-at-tick", 0)));
+
+    for (std::uint64_t t = resume; t < stop; ++t) {
+        svc.advanceTo(t);
+        for (std::size_t i = 0; i < traces.size(); ++i) {
+            const double w = traces[i][t];
+            if (std::isfinite(w)) // NaN = a silent sensor, not a sample
+                svc.ingest({t, i, w});
+        }
+        svc.processReadyEpochs();
+    }
+    svc.processReadyEpochs();
+
+    const auto &ring = svc.ring();
+    std::cout << "served " << (stop - resume) << " ticks ("
+              << ring.acceptedCount() << " samples accepted, "
+              << ring.rejectedTotal() << " rejected, "
+              << svc.shedCount() << " epochs shed)\n"
+              << "committed epoch " << svc.committedEpoch()
+              << ", assignment fingerprint "
+              << core::fingerprintAssignment(svc.assignment()) << "\n";
+    char digest[32];
+    std::snprintf(digest, sizeof digest, "0x%016llx",
+                  static_cast<unsigned long long>(svc.digest()));
+    std::cout << "serve digest " << digest << "\n";
+
+    const std::string digest_out = args.get("digest-out", "");
+    if (!digest_out.empty()) {
+        std::ofstream out(digest_out);
+        SOSIM_REQUIRE(out.good(),
+                      "cannot open --digest-out file " + digest_out);
+        out << digest << "\n";
+    }
+    return 0;
+}
+
+int
 cmdExplain(const Args &args)
 {
     const std::string path = args.require("record");
@@ -406,7 +511,19 @@ usage()
         "  report    --dc 1|2|3 [--scale S] [--interval M]\n"
         "            [--max-swaps N] [--fault-plan SEED[:PROFILE]]\n"
         "            [--what-if KEY=VALUE,...]\n"
+        "  serve     --dc 1|2|3 [--scale S] [--interval M] [--ticks N]\n"
+        "            [--window N] [--epoch-ticks N] [--max-swaps N]\n"
+        "            [--fault-plan SEED[:PROFILE]]\n"
+        "            [--checkpoint-dir DIR] [--restore]\n"
+        "            [--kill-at-tick N] [--digest-out FILE]\n"
         "  explain   --record FILE (--instance ID | --node SIG)\n"
+        "\n"
+        "serve: stream the preset's training traces through the\n"
+        "serving loop one tick at a time.  Epoch snapshots drive the\n"
+        "monitor + remapper; with --checkpoint-dir every processed\n"
+        "epoch is committed to disk, --kill-at-tick simulates process\n"
+        "death, and --restore resumes from the last checkpoint and\n"
+        "replays to the same digest as an unbroken run.\n"
         "\n"
         "explain: reconstruct the causal decision history of one\n"
         "instance (swaps, rejects, faults, repairs, exclusions, plus\n"
@@ -532,6 +649,14 @@ main(int argc, char **argv)
                                 "seed", "max-swaps", "fault-plan",
                                 "what-if"});
             rc = cmdReport(args);
+        } else if (command == "serve") {
+            args.rejectUnknown(command,
+                               {"dc", "scale", "interval", "weeks",
+                                "seed", "ticks", "window", "epoch-ticks",
+                                "max-swaps", "fault-plan",
+                                "checkpoint-dir", "restore",
+                                "kill-at-tick", "digest-out"});
+            rc = cmdServe(args);
         } else if (command == "explain") {
             args.rejectUnknown(command, {"record", "instance", "node"});
             rc = cmdExplain(args);
