@@ -85,6 +85,7 @@ fingerprintEmbedConfig(const PlacementConfig &c)
     h = graph::hashCombine(h, c.topServices);
     h = graph::hashCombine(h, static_cast<std::uint64_t>(c.scoring));
     h = graph::hashCombine(h, static_cast<std::uint64_t>(c.kernels));
+    h = graph::hashCombine(h, static_cast<std::uint64_t>(c.embedding));
     return h;
 }
 

@@ -49,9 +49,22 @@ FragmentationMonitor::FragmentationMonitor(const power::PowerTree &tree,
 MonitorMeasurement
 measureWeek(const power::PowerTree &tree, const MonitorConfig &config,
             const std::vector<trace::TimeSeries> &itraces,
-            const power::Assignment &assignment)
+            const power::Assignment &assignment,
+            const cluster::ShapeIndex *training)
 {
     MonitorMeasurement m;
+
+    // Shape-drift diagnostic against the shared training index: embeds
+    // the week the same way the index embedded the training population.
+    // Degraded weeks embed their repaired rows (filled below), so the
+    // drift reflects workload change, not sensor gaps.
+    const bool want_drift = training != nullptr && !training->empty();
+    const auto driftOf = [&](const std::vector<const double *> &rows,
+                             std::size_t samples) {
+        return cluster::ShapeIndex::build(rows, samples,
+                                          training->buckets())
+            .meanDriftFrom(*training);
+    };
 
     // Validity sweep: one pass per trace.  Fully valid weeks take the
     // zero-copy path below; anything with gaps is repaired into a copy.
@@ -97,12 +110,25 @@ measureWeek(const power::PowerTree &tree, const MonitorConfig &config,
                 SOSIM_EVENT(.kind = obs::EventKind::FaultRepair,
                             .a = i, .b = r.samplesRepaired);
         }
+        if (want_drift) {
+            std::vector<const double *> rows(repaired.size());
+            for (trace::TraceId id = 0; id < repaired.size(); ++id)
+                rows[id] = repaired.row(id);
+            m.shapeDrift = driftOf(rows, repaired.samplesPerTrace());
+        }
         std::vector<trace::TraceView> views;
         views.reserve(repaired.size());
         for (trace::TraceId id = 0; id < repaired.size(); ++id)
             views.push_back(repaired.view(id));
         node_traces = tree.aggregateTraces(views, assignment);
     } else {
+        if (want_drift && !itraces.empty()) {
+            std::vector<const double *> rows(itraces.size());
+            for (std::size_t i = 0; i < itraces.size(); ++i)
+                rows[i] = itraces[i].samples().data();
+            m.shapeDrift =
+                driftOf(rows, itraces.front().samples().size());
+        }
         node_traces = tree.aggregateTraces(itraces, assignment);
     }
     m.sumOfPeaks = tree.sumOfPeaks(node_traces, config.level);
@@ -177,6 +203,7 @@ FragmentationMonitor::ingest(const MonitorMeasurement &m,
     obs.validFraction = m.validFraction;
     obs.repairedSamples = m.repairedSamples;
     obs.excludedInstances = m.excludedInstances;
+    obs.shapeDrift = m.shapeDrift;
 
     // Degraded weeks face widened thresholds: repaired samples can
     // fabricate fragmentation, so demand a proportionally larger margin
@@ -226,6 +253,7 @@ FragmentationMonitor::ingest(const MonitorMeasurement &m,
     SOSIM_GAUGE_SET("monitor.sum_of_peaks", obs.sumOfPeaks);
     SOSIM_GAUGE_SET("monitor.root_peak", obs.rootPeak);
     SOSIM_GAUGE_SET("monitor.fragmentation_ratio", obs.fragmentationRatio);
+    SOSIM_GAUGE_SET("monitor.shape_drift", obs.shapeDrift);
     SOSIM_OBSERVE("monitor.observe_seconds", obs.evalSeconds);
     // Fully qualified: the local `obs` observation shadows the
     // namespace here.

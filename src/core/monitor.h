@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/shape_index.h"
 #include "graph/graph.h"
 #include "power/power_tree.h"
 #include "trace/repair.h"
@@ -76,6 +77,14 @@ struct MonitorObservation {
     std::size_t repairedSamples = 0;
     /** Instances below minValidFraction, excluded from aggregation. */
     std::size_t excludedInstances = 0;
+    /**
+     * Workload-drift diagnostic: mean distance between this week's
+     * shape embeddings and the training population's (see
+     * cluster::ShapeIndex::meanDriftFrom).  0.0 when no training index
+     * was supplied to measureWeek.  Purely informational — it never
+     * influences the recommended action.
+     */
+    double shapeDrift = 0.0;
 };
 
 /** Monitor configuration. */
@@ -135,6 +144,11 @@ struct MonitorMeasurement {
     std::size_t repairedSamples = 0;
     /** Instances below minValidFraction, excluded from aggregation. */
     std::size_t excludedInstances = 0;
+    /**
+     * Mean shape drift of the week against the training index handed to
+     * measureWeek; 0.0 when none was supplied.  Diagnostic only.
+     */
+    double shapeDrift = 0.0;
 };
 
 /**
@@ -145,11 +159,19 @@ struct MonitorMeasurement {
  * of FragmentationMonitor::observeWeek's graph node.  Only the level /
  * repairPolicy / minValidFraction fields of the config are read (see
  * core::fingerprintMonitorMeasureConfig).
+ *
+ * When `training` is supplied (the shared ShapeIndex built over the
+ * training population — the same index placement and remap pruning
+ * consume), the measurement also reports the week's mean shape drift
+ * from it (MonitorMeasurement::shapeDrift); degraded weeks embed their
+ * repaired copy so sensor gaps do not masquerade as workload drift.
+ * The drift is a diagnostic and never changes the computed ratio.
  */
 MonitorMeasurement
 measureWeek(const power::PowerTree &tree, const MonitorConfig &config,
             const std::vector<trace::TimeSeries> &itraces,
-            const power::Assignment &assignment);
+            const power::Assignment &assignment,
+            const cluster::ShapeIndex *training = nullptr);
 
 /**
  * Tracks placement quality over successive weeks of telemetry.

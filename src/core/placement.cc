@@ -6,10 +6,60 @@
 #include "core/service_traces.h"
 #include "graph/graph.h"
 #include "obs/obs.h"
+#include "trace/shard.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
 namespace sosim::core {
+
+namespace {
+
+/**
+ * One pending node split of the level frontier: distribute `ids` across
+ * the children of `node`, clustering with `seed`.  `parent` is the
+ * task's index in the previous frontier, used only to group sibling
+ * subtrees into the same shard (ShardPlan group ids are equality-only).
+ */
+struct DistributeTask {
+    power::NodeId node = power::kNoNode;
+    std::vector<std::size_t> ids;
+    std::uint64_t seed = 0;
+    std::size_t parent = 0;
+};
+
+/**
+ * Per-shard accumulator of one level's fan-out.  Padded to a cache line
+ * so concurrent shard tasks never share one; the serial reduction walks
+ * slots in shard order, which — because a ShardPlan's concatenated
+ * ranges reproduce the frontier order — rebuilds the next frontier in
+ * exactly the order the old depth-first recursion produced children.
+ */
+struct alignas(64) PlaceShardSlot {
+    std::uint64_t nodesVisited = 0;
+    std::uint64_t instancesAssigned = 0;
+    std::vector<std::size_t> fanouts;
+    std::vector<DistributeTask> children;
+};
+
+/** Shape-embed a population of uniform-length traces (kShape path). */
+std::vector<cluster::Point>
+shapeEmbed(const std::vector<trace::TimeSeries> &traces,
+           const cluster::ShapeIndex *shapes)
+{
+    if (shapes != nullptr && shapes->size() == traces.size())
+        return shapes->points();
+    const std::size_t samples = traces.front().samples().size();
+    std::vector<const double *> rows;
+    rows.reserve(traces.size());
+    for (const auto &t : traces) {
+        SOSIM_REQUIRE(t.samples().size() == samples,
+                      "placement: kShape requires uniform trace length");
+        rows.push_back(t.samples().data());
+    }
+    return cluster::ShapeIndex::build(rows, samples).points();
+}
+
+} // namespace
 
 PlacementEngine::PlacementEngine(const power::PowerTree &tree,
                                  PlacementConfig config)
@@ -23,7 +73,8 @@ PlacementEngine::PlacementEngine(const power::PowerTree &tree,
 
 power::Assignment
 PlacementEngine::place(const std::vector<trace::TimeSeries> &itraces,
-                       const std::vector<std::size_t> &service_of) const
+                       const std::vector<std::size_t> &service_of,
+                       const cluster::ShapeIndex *shapes) const
 {
     SOSIM_SPAN("placement.place");
     SOSIM_REQUIRE(!itraces.empty(), "PlacementEngine::place: no instances");
@@ -41,11 +92,13 @@ PlacementEngine::place(const std::vector<trace::TimeSeries> &itraces,
         "service_of", graph::Value::ofNonce(&service_of));
     const auto embed_op = g.op(
         "placement.embed", {traces_in, services_in}, 0,
-        [this](const std::vector<graph::Value> &ins) {
+        [this, shapes](const std::vector<graph::Value> &ins) {
             const auto &traces =
                 *ins[0].as<const std::vector<trace::TimeSeries> *>();
             const auto &services =
                 *ins[1].as<const std::vector<std::size_t> *>();
+            if (config_.embedding == PlacementEmbedding::kShape)
+                return graph::Value::ofNonce(shapeEmbed(traces, shapes));
             const auto straces = extractServiceTraces(
                 traces, services, config_.topServices);
             return graph::Value::ofNonce(
@@ -112,10 +165,15 @@ PlacementEngine::placeSubtree(const std::vector<trace::TimeSeries> &itraces,
         sub_traces.push_back(itraces[i]);
         sub_service.push_back(service_of[i]);
     }
-    const auto straces =
-        extractServiceTraces(sub_traces, sub_service, config_.topServices);
-    const auto sub_vectors = embedPopulation(
-        sub_traces, straces.straces, config_.scoring, config_.kernels);
+    std::vector<cluster::Point> sub_vectors;
+    if (config_.embedding == PlacementEmbedding::kShape) {
+        sub_vectors = shapeEmbed(sub_traces, nullptr);
+    } else {
+        const auto straces = extractServiceTraces(
+            sub_traces, sub_service, config_.topServices);
+        sub_vectors = embedPopulation(
+            sub_traces, straces.straces, config_.scoring, config_.kernels);
+    }
 
     // distribute() indexes vectors by instance id; scatter the subtree's
     // vectors into a full-size table.
@@ -134,67 +192,133 @@ PlacementEngine::distribute(const std::vector<cluster::Point> &vectors,
                             power::Assignment &assignment,
                             std::uint64_t seed) const
 {
-    const auto &n = tree_.node(node);
-    SOSIM_COUNT("placement.nodes_visited");
-    if (n.level == power::Level::Rack) {
-        SOSIM_COUNT_ADD("placement.instances_assigned", ids.size());
-        for (const auto i : ids)
-            assignment[i] = node;
-        return;
-    }
-#if SOSIM_OBS_ENABLED
-    // One span per tree level, so the recursion reads as
-    // placement.DC > placement.SUITE > ... in the trace tree.
-    obs::ScopedSpan level_span("placement." + power::levelName(n.level));
-#endif
-    const std::size_t q = n.children.size();
-    SOSIM_ASSERT(q >= 1, "distribute: interior node without children");
-    SOSIM_OBSERVE("placement.fanout", q);
-
-    std::vector<std::vector<std::size_t>> per_child(q);
-
-    if (ids.size() <= q) {
-        // Degenerate split: fewer instances than children.
-        for (std::size_t k = 0; k < ids.size(); ++k)
-            per_child[k % q].push_back(ids[k]);
-    } else {
-        // Cluster this population into h = q * clustersPerChild groups of
-        // synchronous instances, then deal each cluster's members across
-        // the children round-robin (with a per-cluster starting offset so
-        // remainders spread evenly).
-        std::vector<cluster::Point> points;
-        points.reserve(ids.size());
-        for (const auto i : ids)
-            points.push_back(vectors[i]);
-
-        cluster::KMeansConfig kc;
-        kc.k = std::min(ids.size(), q * config_.clustersPerChild);
-        kc.restarts = config_.kmeansRestarts;
-        kc.maxIterations = config_.kmeansMaxIterations;
-        kc.seed = seed;
-        auto result = cluster::kMeans(points, kc);
-        if (config_.balanceClusters)
-            cluster::equalizeClusterSizes(points, result);
-
-        std::vector<std::vector<std::size_t>> clusters(kc.k);
-        for (std::size_t k = 0; k < ids.size(); ++k)
-            clusters[result.assignment[k]].push_back(ids[k]);
-
-        for (std::size_t c = 0; c < clusters.size(); ++c)
-            for (std::size_t m = 0; m < clusters[c].size(); ++m)
-                per_child[(m + c) % q].push_back(clusters[c][m]);
-    }
-
-    // Children are independent subproblems writing disjoint assignment
-    // slots, and each child's clustering seed depends only on (seed,
-    // child) — so the recursion fans out without affecting results.
-    util::parallelFor(q, [&](std::size_t child) {
-        if (per_child[child].empty())
+    // Splits one task of the frontier exactly as the old depth-first
+    // recursion split one node: same degenerate path, same k-means
+    // configuration and seed, same dealing order.  Rack tasks assign
+    // directly; assignment writes are race-free because sibling tasks
+    // carry disjoint instance ids.
+    const auto split = [&](const DistributeTask &task, std::size_t index,
+                           PlaceShardSlot &slot) {
+        const auto &n = tree_.node(task.node);
+        ++slot.nodesVisited;
+        if (n.level == power::Level::Rack) {
+            slot.instancesAssigned += task.ids.size();
+            for (const auto i : task.ids)
+                assignment[i] = task.node;
             return;
-        distribute(vectors, std::move(per_child[child]),
-                   n.children[child], assignment,
-                   seed + child + 1);
-    });
+        }
+        const std::size_t q = n.children.size();
+        SOSIM_ASSERT(q >= 1, "distribute: interior node without children");
+        slot.fanouts.push_back(q);
+
+        std::vector<std::vector<std::size_t>> per_child(q);
+
+        if (task.ids.size() <= q) {
+            // Degenerate split: fewer instances than children.
+            for (std::size_t k = 0; k < task.ids.size(); ++k)
+                per_child[k % q].push_back(task.ids[k]);
+        } else {
+            // Cluster this population into h = q * clustersPerChild
+            // groups of synchronous instances, then deal each cluster's
+            // members across the children round-robin (with a
+            // per-cluster starting offset so remainders spread evenly).
+            std::vector<cluster::Point> points;
+            points.reserve(task.ids.size());
+            for (const auto i : task.ids)
+                points.push_back(vectors[i]);
+
+            cluster::KMeansConfig kc;
+            kc.k = std::min(task.ids.size(),
+                            q * config_.clustersPerChild);
+            kc.restarts = config_.kmeansRestarts;
+            kc.maxIterations = config_.kmeansMaxIterations;
+            kc.seed = task.seed;
+            auto result = cluster::kMeans(points, kc);
+            if (config_.balanceClusters)
+                cluster::equalizeClusterSizes(points, result);
+
+            std::vector<std::vector<std::size_t>> clusters(kc.k);
+            for (std::size_t k = 0; k < task.ids.size(); ++k)
+                clusters[result.assignment[k]].push_back(task.ids[k]);
+
+            for (std::size_t c = 0; c < clusters.size(); ++c)
+                for (std::size_t m = 0; m < clusters[c].size(); ++m)
+                    per_child[(m + c) % q].push_back(clusters[c][m]);
+        }
+
+        // Child seeds depend only on (task.seed, child), so every task
+        // of the next frontier is seeded exactly as the recursion would
+        // have seeded the corresponding recursive call.
+        for (std::size_t child = 0; child < q; ++child) {
+            if (per_child[child].empty())
+                continue;
+            slot.children.push_back(DistributeTask{
+                n.children[child], std::move(per_child[child]),
+                task.seed + child + 1, index});
+        }
+    };
+
+    std::vector<DistributeTask> frontier;
+    frontier.push_back(DistributeTask{node, std::move(ids), seed, 0});
+
+    while (!frontier.empty()) {
+#if SOSIM_OBS_ENABLED
+        // One span per tree level, so the expansion reads as
+        // placement.DC > placement.SUITE > ... in the trace tree (the
+        // tree below any starting node is level-uniform, so the first
+        // task names the whole frontier).
+        obs::ScopedSpan level_span(
+            "placement." +
+            power::levelName(tree_.node(frontier.front().node).level));
+#endif
+        // Shard the frontier into contiguous blocks that never split a
+        // parent's children apart, so each block covers a few whole
+        // power subtrees.  The shard count tracks the pool width, but
+        // results cannot depend on it: every task is split
+        // independently, and the reduction below is serial.
+        std::vector<std::size_t> group_of(frontier.size());
+        for (std::size_t t = 0; t < frontier.size(); ++t)
+            group_of[t] = frontier[t].parent;
+        const auto plan = trace::ShardPlan::build(
+            group_of, util::threadCount() * 2);
+
+        std::vector<PlaceShardSlot> slots(plan.shardCount());
+        util::parallelFor(
+            plan.shardCount(),
+            [&](std::size_t s) {
+                const auto &range = plan.range(s);
+                for (std::size_t t = range.begin; t < range.end; ++t)
+                    split(frontier[t], t, slots[s]);
+            },
+            util::ParallelForOptions{2, plan.shardCount()});
+
+        // Serial reduction in shard order = frontier order: totals fold
+        // in the order the recursion observed them, and concatenating
+        // the slots' children rebuilds the next frontier in depth-first
+        // child order regardless of thread or shard count.
+        std::vector<DistributeTask> next;
+#if SOSIM_OBS_ENABLED
+        std::uint64_t nodes_visited = 0;
+        std::uint64_t instances_assigned = 0;
+#endif
+        for (auto &slot : slots) {
+#if SOSIM_OBS_ENABLED
+            nodes_visited += slot.nodesVisited;
+            instances_assigned += slot.instancesAssigned;
+            for (const auto fanout : slot.fanouts)
+                SOSIM_OBSERVE("placement.fanout", fanout);
+#endif
+            for (auto &child : slot.children)
+                next.push_back(std::move(child));
+        }
+#if SOSIM_OBS_ENABLED
+        SOSIM_COUNT_ADD("placement.nodes_visited", nodes_visited);
+        if (instances_assigned > 0)
+            SOSIM_COUNT_ADD("placement.instances_assigned",
+                            instances_assigned);
+#endif
+        frontier = std::move(next);
+    }
 }
 
 } // namespace sosim::core

@@ -18,12 +18,29 @@
 #include <vector>
 
 #include "cluster/kmeans.h"
+#include "cluster/shape_index.h"
 #include "core/asynchrony.h"
 #include "power/power_tree.h"
 #include "trace/kernels.h"
 #include "trace/time_series.h"
 
 namespace sosim::core {
+
+/**
+ * Which per-instance embedding the placement clusters.
+ *
+ * kScoreVector is the paper's I-to-S asynchrony-score embedding
+ * (core::embedPopulation): one kernel pass per (instance, S-trace)
+ * pair, |B| dimensions.  kShape reuses the 16-bucket normalized
+ * diurnal-shape embedding the remap pruner and the monitor already
+ * compute (cluster::ShapeIndex) — a single pass per instance, so
+ * fleet-scale placements skip the dominant embedding cost and the
+ * index built once per population serves all three consumers.  The
+ * two embeddings cluster differently, so switching modes changes the
+ * derived placement (kScoreVector remains the default and the golden
+ * pipeline behavior).
+ */
+enum class PlacementEmbedding { kScoreVector, kShape };
 
 /** Parameters of the placement framework. */
 struct PlacementConfig {
@@ -55,6 +72,13 @@ struct PlacementConfig {
      * kReference scoring.
      */
     trace::KernelMode kernels = trace::KernelMode::kStrict;
+    /**
+     * Embedding clustered by the recursive distribution (see
+     * PlacementEmbedding).  kScoreVector (default) preserves the
+     * paper's formulation bit for bit; kShape trades it for the shared
+     * one-pass shape embedding at fleet populations.
+     */
+    PlacementEmbedding embedding = PlacementEmbedding::kScoreVector;
 };
 
 /**
@@ -76,11 +100,19 @@ class PlacementEngine
      *
      * @param itraces    Averaged (training) I-trace of every instance.
      * @param service_of Service id of each instance.
+     * @param shapes     Optional prebuilt shape index over `itraces`
+     *                   (one point per instance, population order).
+     *                   Read only when config().embedding == kShape;
+     *                   when absent the index is built locally.  A
+     *                   caller that already built the index for remap
+     *                   pruning or the monitor passes it here to skip
+     *                   the re-embed.
      * @return Rack assignment of every instance.
      */
     power::Assignment
     place(const std::vector<trace::TimeSeries> &itraces,
-          const std::vector<std::size_t> &service_of) const;
+          const std::vector<std::size_t> &service_of,
+          const cluster::ShapeIndex *shapes = nullptr) const;
 
     /**
      * The recursive-distribution half of place(): derive a full
@@ -112,6 +144,18 @@ class PlacementEngine
     const PlacementConfig &config() const { return config_; }
 
   private:
+    /**
+     * Level-frontier expansion of the balanced-partition recursion:
+     * starting from (node, ids, seed), repeatedly split every task of
+     * the current tree level into per-child tasks until the rack level
+     * assigns.  Each level's tasks fan out over util::parallelFor in
+     * contiguous, subtree-aligned blocks (a trace::ShardPlan grouped by
+     * parent task); per-block accumulators live in their own cache
+     * lines and a serial reduction in block order rebuilds the next
+     * frontier in exactly the order the old depth-first recursion
+     * visited — so the derived assignment is bit-identical at any
+     * thread or shard count.
+     */
     void distribute(const std::vector<cluster::Point> &vectors,
                     std::vector<std::size_t> ids, power::NodeId node,
                     power::Assignment &assignment,

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "cluster/candidate_index.h"
+#include "cluster/shape_index.h"
 #include "core/asynchrony.h"
 #include "graph/graph.h"
 #include "obs/obs.h"
@@ -17,11 +18,6 @@
 namespace sosim::core {
 
 namespace {
-
-/** Bucket count of the diurnal-shape embedding behind PruneMode::kCluster
- *  (see cluster::shapePoints); enough to separate day/night phases
- *  without making the k-means pass itself noticeable. */
-constexpr std::size_t kShapeBuckets = 16;
 
 /**
  * Mutable per-rack state kept while searching for swaps.  The aggregate
@@ -196,7 +192,8 @@ Remapper::rackScores(const power::Assignment &assignment,
 std::vector<SwapRecord>
 Remapper::refine(power::Assignment &assignment,
                  const std::vector<trace::TimeSeries> &itraces,
-                 const std::vector<double> *validity) const
+                 const std::vector<double> *validity,
+                 const cluster::ShapeIndex *shapes) const
 {
     // Thin wrapper over a one-node op graph.  The op is pure — it
     // refines a copy of the assignment and returns (assignment, swaps)
@@ -210,7 +207,7 @@ Remapper::refine(power::Assignment &assignment,
         [&](const std::vector<graph::Value> &ins) {
             power::Assignment refined =
                 *ins[0].as<power::Assignment *>();
-            auto swaps = refineInPlace(refined, itraces, validity);
+            auto swaps = refineInPlace(refined, itraces, validity, shapes);
             return graph::Value::ofNonce(std::make_pair(
                 std::move(refined), std::move(swaps)));
         });
@@ -224,7 +221,8 @@ Remapper::refine(power::Assignment &assignment,
 std::vector<SwapRecord>
 Remapper::refineInPlace(power::Assignment &assignment,
                         const std::vector<trace::TimeSeries> &itraces,
-                        const std::vector<double> *validity) const
+                        const std::vector<double> *validity,
+                        const cluster::ShapeIndex *shapes) const
 {
     SOSIM_SPAN("remap.refine");
     SOSIM_EVENT_SCOPE(.kind = obs::EventKind::Scope,
@@ -327,17 +325,30 @@ Remapper::refineInPlace(power::Assignment &assignment,
     cluster::CandidatePairIndex prune_index;
     if (prune) {
         SOSIM_SPAN("remap.prune_index");
-        std::vector<const double *> trace_rows(itraces.size());
-        for (trace::TraceId id = 0; id < itraces.size(); ++id)
-            trace_rows[id] = arena.row(id);
-        const auto points = cluster::shapePoints(
-            trace_rows, arena.samplesPerTrace(), kShapeBuckets);
+        // A caller-supplied ShapeIndex (built once per population and
+        // shared with placement and the monitor) skips the re-embed; a
+        // size mismatch means it describes some other population, so
+        // fall back to embedding locally.
+        std::vector<cluster::Point> local_points;
+        const std::vector<cluster::Point> *points = nullptr;
+        if (shapes != nullptr && shapes->size() == itraces.size()) {
+            points = &shapes->points();
+            SOSIM_COUNT("remap.prune_index_reused");
+        } else {
+            std::vector<const double *> trace_rows(itraces.size());
+            for (trace::TraceId id = 0; id < itraces.size(); ++id)
+                trace_rows[id] = arena.row(id);
+            local_points = cluster::shapePoints(
+                trace_rows, arena.samplesPerTrace(),
+                cluster::kDefaultShapeBuckets);
+            points = &local_points;
+        }
         cluster::CandidateIndexConfig index_config;
         index_config.clusters = config_.pruneClusters;
         index_config.keepFraction = config_.pruneKeepFraction;
         index_config.seed = config_.pruneSeed;
         prune_index =
-            cluster::CandidatePairIndex::build(points, index_config);
+            cluster::CandidatePairIndex::build(*points, index_config);
         SOSIM_GAUGE_SET("remap.prune_clusters",
                         prune_index.clusterCount());
     }

@@ -19,6 +19,10 @@
 #include "trace/kernels.h"
 #include "trace/time_series.h"
 
+namespace sosim::cluster {
+class ShapeIndex;
+}
+
 namespace sosim::core {
 
 /**
@@ -136,12 +140,20 @@ class Remapper
      *                   minValidFraction still count toward their rack's
      *                   aggregate but are never chosen as a swap-out
      *                   candidate or a swap partner.
+     * @param shapes     Optional prebuilt cluster::ShapeIndex over
+     *                   `itraces` (population order, default buckets).
+     *                   Read only when config's prune is kCluster: the
+     *                   pruner clusters these points instead of
+     *                   re-embedding the population.  An index whose
+     *                   size does not match the population is ignored
+     *                   (the embedding is rebuilt locally).
      * @return The accepted swaps, in order.
      */
     std::vector<SwapRecord>
     refine(power::Assignment &assignment,
            const std::vector<trace::TimeSeries> &itraces,
-           const std::vector<double> *validity = nullptr) const;
+           const std::vector<double> *validity = nullptr,
+           const cluster::ShapeIndex *shapes = nullptr) const;
 
     /**
      * The implementation behind refine(): identical contract, but called
@@ -152,7 +164,8 @@ class Remapper
     std::vector<SwapRecord>
     refineInPlace(power::Assignment &assignment,
                   const std::vector<trace::TimeSeries> &itraces,
-                  const std::vector<double> *validity = nullptr) const;
+                  const std::vector<double> *validity = nullptr,
+                  const cluster::ShapeIndex *shapes = nullptr) const;
 
     /**
      * Asynchrony score of each rack under an assignment (1-member racks

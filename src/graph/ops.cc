@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "baseline/oblivious.h"
+#include "cluster/shape_index.h"
 #include "core/asynchrony.h"
 #include "core/fingerprints.h"
 #include "core/service_traces.h"
@@ -88,7 +89,8 @@ fpMeasurement(const core::MonitorMeasurement &m)
     h = graph::hashCombine(h, m.degradedData ? 1u : 0u);
     h = fpDouble(h, m.validFraction);
     h = graph::hashCombine(h, m.repairedSamples);
-    return graph::hashCombine(h, m.excludedInstances);
+    h = graph::hashCombine(h, m.excludedInstances);
+    return fpDouble(h, m.shapeDrift);
 }
 
 std::uint64_t
@@ -242,16 +244,47 @@ ScoreOp::add(graph::OpGraph &g, std::string name, graph::Handle traces)
 }
 
 graph::Handle
+ShapeIndexOp::add(graph::OpGraph &g, std::string name, graph::Handle traces)
+{
+    return g.op(std::move(name), {traces}, 0,
+                [](const std::vector<graph::Value> &ins) {
+                    const auto &population = tracesOf(ins[0]);
+                    std::vector<const double *> rows;
+                    rows.reserve(population.size());
+                    for (const auto &ts : population)
+                        rows.push_back(ts.samples().data());
+                    const std::size_t samples =
+                        population.empty() ? 0
+                                           : population.front().size();
+                    auto index =
+                        cluster::ShapeIndex::build(rows, samples);
+                    const auto fp = index.fingerprint();
+                    return graph::Value::of(std::move(index), fp);
+                });
+}
+
+graph::Handle
 EmbedOp::add(graph::OpGraph &g, std::string name, graph::Handle traces,
-             graph::Handle services, graph::Handle config)
+             graph::Handle services, graph::Handle config,
+             graph::Handle shapes)
 {
     return g.op(
-        std::move(name), {traces, services, config}, 0,
+        std::move(name), {traces, services, config, shapes}, 0,
         [](const std::vector<graph::Value> &ins) {
             const auto &population = tracesOf(ins[0]);
             const auto &service_of =
                 ins[1].as<std::vector<std::size_t>>();
             const auto &cfg = ins[2].as<core::PlacementConfig>();
+            if (cfg.embedding == core::PlacementEmbedding::kShape) {
+                // The shared index already embedded this population;
+                // forward its points (fpPoints, not the index
+                // fingerprint, so the distribute node sees the same
+                // identity either way the points were produced).
+                auto points =
+                    ins[3].as<cluster::ShapeIndex>().points();
+                const auto fp = fpPoints(points);
+                return graph::Value::of(std::move(points), fp);
+            }
             const auto straces = core::extractServiceTraces(
                 population, service_of, cfg.topServices);
             auto points = core::embedPopulation(
@@ -299,11 +332,12 @@ ObliviousPlaceOp::add(graph::OpGraph &g, std::string name,
 graph::Handle
 RemapOp::add(graph::OpGraph &g, std::string name, graph::Handle assignment,
              graph::Handle traces, graph::Handle config,
+             graph::Handle shapes,
              std::shared_ptr<const power::PowerTree> tree)
 {
     const auto tree_fp = core::fingerprintTree(*tree);
     return g.op(
-        std::move(name), {assignment, traces, config}, tree_fp,
+        std::move(name), {assignment, traces, config, shapes}, tree_fp,
         [tree = std::move(tree)](const std::vector<graph::Value> &ins) {
             RemapResult out;
             out.assignment = assignmentOf(ins[0]);
@@ -317,9 +351,10 @@ RemapOp::add(graph::OpGraph &g, std::string name, graph::Handle assignment,
                 validity = &ins[1]
                                 .as<trace::RepairedTraces>()
                                 .summary.validBefore;
-            out.swaps = core::Remapper(*tree, cfg)
-                            .refineInPlace(out.assignment, population,
-                                           validity);
+            out.swaps =
+                core::Remapper(*tree, cfg)
+                    .refineInPlace(out.assignment, population, validity,
+                                   &ins[3].as<cluster::ShapeIndex>());
             const auto fp = fpRemapResult(out);
             return graph::Value::of(std::move(out), fp);
         });
@@ -365,15 +400,17 @@ CompareOp::add(graph::OpGraph &g, std::string name, graph::Handle traces,
 graph::Handle
 MonitorOp::add(graph::OpGraph &g, std::string name, graph::Handle traces,
                graph::Handle assignment, graph::Handle config,
+               graph::Handle shapes,
                std::shared_ptr<const power::PowerTree> tree)
 {
     const auto tree_fp = core::fingerprintTree(*tree);
     return g.op(
-        std::move(name), {traces, assignment, config}, tree_fp,
+        std::move(name), {traces, assignment, config, shapes}, tree_fp,
         [tree = std::move(tree)](const std::vector<graph::Value> &ins) {
             const auto m = core::measureWeek(
                 *tree, ins[2].as<core::MonitorConfig>(),
-                tracesOf(ins[0]), assignmentOf(ins[1]));
+                tracesOf(ins[0]), assignmentOf(ins[1]),
+                &ins[3].as<cluster::ShapeIndex>());
             return graph::Value::of(m, fpMeasurement(m));
         });
 }
@@ -472,12 +509,19 @@ buildPipeline(const PipelineSpec &spec)
                              p.repairTrainingOp);
     p.obliviousOp =
         ObliviousPlaceOp::add(g, "place.oblivious", p.serviceOfIn, p.tree);
+    // One shape-embedding build for the whole pipeline: the kShape
+    // embedding path, remap pruning, and every week's drift diagnostic
+    // all read this node's cached output.
+    p.shapeIndexOp =
+        ShapeIndexOp::add(g, "cluster.shape_index", p.repairTrainingOp);
     p.embedOp = EmbedOp::add(g, "place.embed", p.repairTrainingOp,
-                             p.serviceOfIn, p.embedConfigIn);
+                             p.serviceOfIn, p.embedConfigIn,
+                             p.shapeIndexOp);
     p.placeOp = PlaceOp::add(g, "place.distribute", p.embedOp,
                              p.distributeConfigIn, p.tree);
     p.remapOp = RemapOp::add(g, "remap.refine", p.placeOp,
-                             p.repairTrainingOp, p.remapConfigIn, p.tree);
+                             p.repairTrainingOp, p.remapConfigIn,
+                             p.shapeIndexOp, p.tree);
     p.tripsOp = BreakerTripsOp::add(g, "fault.trips.test", p.repairTestOp,
                                     p.remapOp, p.planIn, p.tree);
     p.compareOp = CompareOp::add(g, "compare.headroom", p.tripsOp,
@@ -488,7 +532,8 @@ buildPipeline(const PipelineSpec &spec)
             p.planIn));
         p.weekMeasureOps.push_back(MonitorOp::add(
             g, "monitor.measure.week." + std::to_string(w),
-            p.weekInjectOps[w], p.remapOp, p.monitorConfigIn, p.tree));
+            p.weekInjectOps[w], p.remapOp, p.monitorConfigIn,
+            p.shapeIndexOp, p.tree));
     }
     return p;
 }
@@ -607,6 +652,20 @@ whatIfClustersPerChild(const Pipeline &p, std::size_t n)
 }
 
 graph::Overlay
+whatIfPlacementEmbedding(const Pipeline &p,
+                         core::PlacementEmbedding embedding)
+{
+    auto cfg = p.spec.placement;
+    cfg.embedding = embedding;
+    // Only the embed config changes; the shape-index node's output is
+    // already cached, so flipping to kShape re-runs just the embed and
+    // distribute cone.
+    return graph::Overlay().set(
+        p.embedConfigIn,
+        graph::Value::of(cfg, core::fingerprintEmbedConfig(cfg)));
+}
+
+graph::Overlay
 whatIfRepairPolicy(const Pipeline &p, trace::RepairPolicy policy)
 {
     return graph::Overlay().set(p.repairPolicyIn, policyValue(policy));
@@ -692,6 +751,18 @@ parseWhatIf(const Pipeline &p, const std::string &text)
             placement.clustersPerChild =
                 static_cast<std::size_t>(std::stoul(value));
             distribute_changed = true;
+        } else if (key == "placement-embedding") {
+            if (value == "score") {
+                placement.embedding =
+                    core::PlacementEmbedding::kScoreVector;
+            } else if (value == "shape") {
+                placement.embedding = core::PlacementEmbedding::kShape;
+            } else {
+                SOSIM_REQUIRE(false, "--what-if: placement-embedding "
+                                     "must be score|shape, got '" +
+                                         value + "'");
+            }
+            embed_changed = true;
         } else if (key == "repair-policy") {
             overlay.set(p.repairPolicyIn,
                         policyValue(trace::repairPolicyFromName(value)));

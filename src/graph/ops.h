@@ -110,15 +110,32 @@ struct ScoreOp {
 };
 
 /**
+ * cluster::ShapeIndex::build over a trace population ->
+ * cluster::ShapeIndex.  The one shared shape-embedding build: its
+ * cached output (keyed by the index's own content fingerprint) feeds
+ * the kShape embedding path, remap pruning and the monitor's drift
+ * diagnostic, so the population is shape-embedded once per pipeline no
+ * matter how many consumers run or how many what-if overlays re-enter
+ * the graph.
+ */
+struct ShapeIndexOp {
+    static graph::Handle add(graph::OpGraph &g, std::string name,
+                             graph::Handle traces);
+};
+
+/**
  * S-trace extraction + population embedding
  * (core::extractServiceTraces + core::embedPopulation) ->
  * std::vector<cluster::Point>.  The config input is a full
- * core::PlacementConfig fingerprinted by fingerprintEmbedConfig.
+ * core::PlacementConfig fingerprinted by fingerprintEmbedConfig.  With
+ * config.embedding == kShape the op instead forwards the shared
+ * ShapeIndex's points (`shapes` must then be a ShapeIndexOp over the
+ * same traces); kScoreVector never evaluates the shapes input.
  */
 struct EmbedOp {
     static graph::Handle add(graph::OpGraph &g, std::string name,
                              graph::Handle traces, graph::Handle services,
-                             graph::Handle config);
+                             graph::Handle config, graph::Handle shapes);
 };
 
 /**
@@ -145,12 +162,15 @@ struct ObliviousPlaceOp {
  * the traces input carries a trace::RepairedTraces, its per-instance
  * validity gates swap candidacy exactly as the CLI's faulted path does;
  * an all-valid population makes the gate a no-op, so the clean path is
- * bit-identical to refining without a validity vector.
+ * bit-identical to refining without a validity vector.  The shared
+ * ShapeIndex (`shapes`, a ShapeIndexOp over the same traces) feeds the
+ * kCluster pruner so it skips its own re-embed; with pruning off the
+ * index is ignored and results are bit-identical either way.
  */
 struct RemapOp {
     static graph::Handle add(graph::OpGraph &g, std::string name,
                              graph::Handle assignment, graph::Handle traces,
-                             graph::Handle config,
+                             graph::Handle config, graph::Handle shapes,
                              std::shared_ptr<const power::PowerTree> tree);
 };
 
@@ -173,12 +193,14 @@ struct CompareOp {
 /**
  * core::measureWeek -> core::MonitorMeasurement (the pure half of one
  * week's observation; the stateful threshold judgment happens in
- * FragmentationMonitor::ingest, outside the graph).
+ * FragmentationMonitor::ingest, outside the graph).  The training
+ * ShapeIndex (`shapes`) enables the measurement's shape-drift
+ * diagnostic — it annotates, never steers, the recommended action.
  */
 struct MonitorOp {
     static graph::Handle add(graph::OpGraph &g, std::string name,
                              graph::Handle traces, graph::Handle assignment,
-                             graph::Handle config,
+                             graph::Handle config, graph::Handle shapes,
                              std::shared_ptr<const power::PowerTree> tree);
 };
 
@@ -235,6 +257,7 @@ struct Pipeline {
     graph::Handle statsOp;
     graph::Handle scoreOp;
     graph::Handle obliviousOp;
+    graph::Handle shapeIndexOp;
     graph::Handle embedOp;
     graph::Handle placeOp;
     graph::Handle remapOp;
@@ -294,6 +317,8 @@ graph::Overlay whatIfPlacementSeed(const Pipeline &p, std::uint64_t seed);
 graph::Overlay whatIfTopServices(const Pipeline &p,
                                  std::size_t top_services);
 graph::Overlay whatIfClustersPerChild(const Pipeline &p, std::size_t n);
+graph::Overlay whatIfPlacementEmbedding(const Pipeline &p,
+                                        core::PlacementEmbedding embedding);
 graph::Overlay whatIfRepairPolicy(const Pipeline &p,
                                   trace::RepairPolicy policy);
 graph::Overlay whatIfFaultPlan(const Pipeline &p, std::uint64_t seed,
@@ -306,10 +331,11 @@ graph::Overlay whatIfMonitorThresholds(const Pipeline &p,
 /**
  * Parse a `--what-if` specification — comma-separated KEY=VALUE pairs —
  * into a composed overlay.  Keys: max-swaps, placement-seed,
- * top-services, clusters-per-child, repair-policy
- * (none|hold_last|interpolate), fault-plan (SEED[:PROFILE]),
- * monitor-level (SUITE|MSB|SB|RPP|RACK), remap-threshold,
- * replace-threshold.  Fatal on an unknown key or malformed pair.
+ * top-services, clusters-per-child, placement-embedding (score|shape),
+ * repair-policy (none|hold_last|interpolate), fault-plan
+ * (SEED[:PROFILE]), monitor-level (SUITE|MSB|SB|RPP|RACK),
+ * remap-threshold, replace-threshold.  Fatal on an unknown key or
+ * malformed pair.
  */
 graph::Overlay parseWhatIf(const Pipeline &p, const std::string &text);
 

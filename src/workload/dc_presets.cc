@@ -161,7 +161,22 @@ buildFleetSpec(int population, const PresetOptions &options)
     // Eight services, population/8 instances each, spanning the shape
     // space: day-peaking LC (web, cache, search), flat batch (hadoop),
     // day-peaking dev, night-peaking storage (db, lab) and an evening
-    // peak (instagram).
+    // peak (instagram).  From 8192 instances up the mix widens to the
+    // full sixteen-service catalog (population/16 each) — a 10k+ fleet
+    // with only eight shapes clusters unrealistically cleanly, and the
+    // wider mix keeps the placement-scaling benches honest.  Smaller
+    // fleets keep the original eight-service mix unchanged (the 4096
+    // golden fleet digest depends on it).
+    if (population >= 8192) {
+        const int per_service = population / 16;
+        for (auto profile :
+             {webFrontend(), cache(), search(), hadoop(), devPool(),
+              dbBackend(), labServer(), instagram(), searchIndex(),
+              mobileDev(), dbSecondary(), batchJob(), photoStorage(),
+              webFrontend(), cache(), hadoop()})
+            spec.services.push_back({std::move(profile), per_service});
+        return spec;
+    }
     const int per_service = population / 8;
     for (auto profile :
          {webFrontend(), cache(), search(), hadoop(), devPool(),

@@ -55,7 +55,10 @@ std::vector<DatacenterSpec> buildAllDcSpecs(
  * Eight services of population/8 instances each span the catalog's
  * shape space — day-peaking LC, flat batch, night-peaking storage,
  * evening peaks — so the population clusters cleanly and the pruned
- * swap scan has genuine asynchrony to find.  The topology is derived
+ * swap scan has genuine asynchrony to find.  Fleets of 8192 instances
+ * and up widen to sixteen services (population/16 each) drawn from the
+ * full catalog, for a more realistic shape mix at 10k+ populations;
+ * smaller fleets are unchanged.  The topology is derived
  * from the population (16 racks per SB, suites/SBs balanced), so rack
  * count grows with the fleet instead of piling instances onto the
  * bench topology.  `options.scale` is ignored (the population is

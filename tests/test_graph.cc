@@ -369,7 +369,9 @@ TEST(GraphWhatIf, WarmMonitorLevelRerunIsFivefoldCheaper)
     spec.dc = goldenSpec();
     auto p = pipeline::buildPipeline(spec);
     const auto cold = pipeline::runPipeline(p);
-    EXPECT_EQ(cold.opsExecuted, 12u + 2u * p.weekIns.size());
+    // 13 fixed ops (including the shared cluster.shape_index) plus a
+    // measure + ingest pair per evaluated week.
+    EXPECT_EQ(cold.opsExecuted, 13u + 2u * p.weekIns.size());
 
 #if SOSIM_OBS_ENABLED
     const auto reg_miss1 =
@@ -436,7 +438,7 @@ TEST(GraphWhatIf, SeedWhatIfKeepsTheEmbeddingCached)
     EXPECT_EQ(p.graph.evalCount(p.embedOp), embed_evals)
         << "embedding must stay cached across a seed-only what-if";
     EXPECT_GT(warm.opsExecuted, 0u);
-    EXPECT_LT(warm.opsExecuted, 12u + 2u * p.weekIns.size());
+    EXPECT_LT(warm.opsExecuted, 13u + 2u * p.weekIns.size());
 }
 
 TEST(GraphWhatIf, ParseComposesKeysAndRejectsUnknownOnes)

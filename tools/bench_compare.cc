@@ -6,7 +6,7 @@
  *
  *   bench_compare BASELINE.json CURRENT.json
  *                 [--max-regress PCT] [--metrics name1,name2,...]
- *                 [--min-ms MS]
+ *                 [--min-ms MS] [--json-out FILE]
  *
  * Rows are matched by (name, population).  For every matched row both
  * fused_ms and pooled_ms are compared; a relative slowdown beyond
@@ -24,6 +24,13 @@
  * --metrics restricts the gate to a comma-separated set of row names
  * (unmatched names in the filter are an error, so a typo cannot
  * silently disable the gate).
+ *
+ * --json-out writes the comparison itself as JSON: one row per gated
+ * pair plus a header carrying both reports' hardware fields — in
+ * particular each side's `oversubscribed` flag — so archived nightly
+ * artifacts record when a WARN-only hardware mismatch (which this tool
+ * deliberately never fails on) was in effect, instead of that context
+ * living only in a scrolled-away build log.
  *
  * The parser reads exactly the schema bench_report writes; it is not a
  * general JSON reader.
@@ -208,6 +215,80 @@ regressionPct(double baseline_ms, double current_ms)
     return (current_ms - baseline_ms) / baseline_ms * 100.0;
 }
 
+/** One comparison line, for --json-out. */
+struct GateLine {
+    std::string key;
+    std::string status; // "fail" | "ok" | "skip" | "new" | "missing"
+    double baseFusedMs = -1.0;
+    double curFusedMs = -1.0;
+    double fusedPct = 0.0;
+    double basePooledMs = -1.0;
+    double curPooledMs = -1.0;
+    double pooledPct = 0.0;
+};
+
+/** A report-level hardware field as a JSON value ("null" when the
+ *  report predates the field). */
+std::string
+jsonHardwareField(const std::string &raw)
+{
+    return raw.empty() ? "null" : raw;
+}
+
+void
+writeComparisonJson(std::ostream &os, const std::string &base_path,
+                    const std::string &cur_path, double max_regress,
+                    double min_ms, const std::vector<GateLine> &lines,
+                    int failures)
+{
+    const Hardware base = parseHardware(base_path);
+    const Hardware cur = parseHardware(cur_path);
+    os << "{\n";
+    os << "  \"baseline\": \"" << base_path << "\",\n";
+    os << "  \"current\": \"" << cur_path << "\",\n";
+    os << "  \"max_regress_pct\": " << max_regress << ",\n";
+    os << "  \"min_ms\": " << min_ms << ",\n";
+    os << "  \"baseline_hardware_concurrency\": "
+       << jsonHardwareField(base.concurrency) << ",\n";
+    os << "  \"baseline_oversubscribed\": "
+       << jsonHardwareField(base.oversubscribed) << ",\n";
+    os << "  \"current_hardware_concurrency\": "
+       << jsonHardwareField(cur.concurrency) << ",\n";
+    os << "  \"current_oversubscribed\": "
+       << jsonHardwareField(cur.oversubscribed) << ",\n";
+    os << "  \"hardware_mismatch\": "
+       << (base.concurrency != cur.concurrency ||
+                   base.oversubscribed != cur.oversubscribed
+               ? "true"
+               : "false")
+       << ",\n";
+    os << "  \"failures\": " << failures << ",\n";
+    os << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const auto &l = lines[i];
+        const auto ms = [&os](double v) {
+            if (v < 0.0)
+                os << "null";
+            else
+                os << v;
+        };
+        os << "    {\"key\": \"" << l.key << "\", \"status\": \""
+           << l.status << "\", \"baseline_fused_ms\": ";
+        ms(l.baseFusedMs);
+        os << ", \"current_fused_ms\": ";
+        ms(l.curFusedMs);
+        os << ", \"fused_regress_pct\": " << l.fusedPct
+           << ", \"baseline_pooled_ms\": ";
+        ms(l.basePooledMs);
+        os << ", \"current_pooled_ms\": ";
+        ms(l.curPooledMs);
+        os << ", \"pooled_regress_pct\": " << l.pooledPct << "}"
+           << (i + 1 < lines.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
 } // namespace
 
 int
@@ -216,6 +297,7 @@ main(int argc, char **argv)
     std::vector<std::string> files;
     double max_regress = 25.0;
     double min_ms = 2.0;
+    std::string json_out;
     std::set<std::string> filter;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -232,6 +314,8 @@ main(int argc, char **argv)
                                       nullptr);
         } else if (arg == "--min-ms") {
             min_ms = std::strtod(next("--min-ms").c_str(), nullptr);
+        } else if (arg == "--json-out") {
+            json_out = next("--json-out");
         } else if (arg == "--metrics") {
             std::stringstream names(next("--metrics"));
             std::string name;
@@ -241,7 +325,7 @@ main(int argc, char **argv)
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "usage: bench_compare BASELINE.json CURRENT.json "
                          "[--max-regress PCT] [--metrics n1,n2,...] "
-                         "[--min-ms MS]\n";
+                         "[--min-ms MS] [--json-out FILE]\n";
             return 2;
         } else {
             files.push_back(arg);
@@ -276,6 +360,7 @@ main(int argc, char **argv)
 
     int failures = 0;
     std::set<std::string> seen;
+    std::vector<GateLine> lines;
     for (const auto &base : baseline) {
         if (!filter.empty() && filter.count(base.name) == 0)
             continue;
@@ -286,6 +371,12 @@ main(int argc, char **argv)
             std::cout << "FAIL " << key << ": missing from "
                       << files[1] << "\n";
             ++failures;
+            GateLine line;
+            line.key = key;
+            line.status = "missing";
+            line.baseFusedMs = base.fusedMs;
+            line.basePooledMs = base.pooledMs;
+            lines.push_back(line);
             continue;
         }
         const Row &cur = found->second;
@@ -308,12 +399,43 @@ main(int argc, char **argv)
                   << ")\n";
         if (bad)
             ++failures;
+        GateLine line;
+        line.key = key;
+        line.status = bad                            ? "fail"
+                      : !gate_fused && !gate_pooled ? "skip"
+                                                    : "ok";
+        line.baseFusedMs = base.fusedMs;
+        line.curFusedMs = cur.fusedMs;
+        line.fusedPct = fused;
+        line.basePooledMs = base.pooledMs;
+        line.curPooledMs = cur.pooledMs;
+        line.pooledPct = pooled;
+        lines.push_back(line);
     }
     for (const auto &cur : current)
         if (seen.count(keyOf(cur)) == 0 &&
-            (filter.empty() || filter.count(cur.name) != 0))
+            (filter.empty() || filter.count(cur.name) != 0)) {
             std::cout << "new  " << keyOf(cur)
                       << ": no baseline row (not gated)\n";
+            GateLine line;
+            line.key = keyOf(cur);
+            line.status = "new";
+            line.curFusedMs = cur.fusedMs;
+            line.curPooledMs = cur.pooledMs;
+            lines.push_back(line);
+        }
+
+    if (!json_out.empty()) {
+        std::ofstream out(json_out);
+        if (!out) {
+            std::cerr << "bench_compare: cannot write " << json_out
+                      << "\n";
+            return 2;
+        }
+        writeComparisonJson(out, files[0], files[1], max_regress, min_ms,
+                            lines, failures);
+        std::cout << "comparison written to " << json_out << "\n";
+    }
 
     if (failures > 0) {
         std::cout << failures << " metric(s) regressed more than "

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "baseline/oblivious.h"
+#include "cluster/shape_index.h"
 #include "fault/fault_plan.h"
 #include "fault/inject.h"
 #include "obs/events.h"
@@ -450,6 +451,69 @@ main(int argc, char **argv)
             remapper_off.refine(assignment, traces);
         });
         rows.push_back(ab);
+    }
+
+    // Fleet-scale placement rows: the frontier-parallel balanced
+    // partition (PlacementEngine::distribute) at populations where the
+    // serial recursion dominated pipeline latency.  placementFleet is
+    // the paper's score-vector embedding end to end; placementFleetShape
+    // deals the same population from the shared 16-bucket shape index
+    // (built once, untimed, exactly as the pipeline shares it across
+    // placement / remap pruning / the monitor), so the pair is the
+    // embedding-cost ablation.  10240 exercises the sixteen-service
+    // fleet spec.
+    for (const int fleet_pop : {1024, 4096, 10240}) {
+        workload::PresetOptions fleet_opts;
+        fleet_opts.intervalMinutes = 30;
+        fleet_opts.weeks = 2;
+        const auto dc = workload::generate(
+            workload::buildFleetSpec(fleet_pop, fleet_opts));
+        const auto traces = dc.trainingTraces();
+        std::vector<std::size_t> service_of(dc.instanceCount());
+        for (std::size_t i = 0; i < dc.instanceCount(); ++i)
+            service_of[i] = dc.serviceOf(i);
+        power::PowerTree tree(dc.spec().topology);
+        const int population = static_cast<int>(traces.size());
+        const std::size_t samples = traces.front().size();
+        std::cerr << "bench_report: fleet placement population "
+                  << population << " (" << samples
+                  << " samples/trace)\n";
+
+        Measurement pf{"placementFleet", population, samples};
+        util::setThreadCount(1);
+        pf.fusedThreads = util::threadCount();
+        pf.fusedMs = bestMs(repeats, [&] {
+            core::PlacementEngine(tree, {}).place(traces, service_of);
+        });
+        util::setThreadCount(pool_threads);
+        pf.pooledThreads = util::threadCount();
+        pf.pooledMs = bestMs(repeats, [&] {
+            core::PlacementEngine(tree, {}).place(traces, service_of);
+        });
+        rows.push_back(pf);
+
+        std::vector<const double *> trace_rows;
+        trace_rows.reserve(traces.size());
+        for (const auto &ts : traces)
+            trace_rows.push_back(ts.samples().data());
+        const auto index =
+            cluster::ShapeIndex::build(trace_rows, samples);
+        core::PlacementConfig shape_cfg;
+        shape_cfg.embedding = core::PlacementEmbedding::kShape;
+        Measurement ps{"placementFleetShape", population, samples};
+        util::setThreadCount(1);
+        ps.fusedThreads = util::threadCount();
+        ps.fusedMs = bestMs(repeats, [&] {
+            core::PlacementEngine(tree, shape_cfg)
+                .place(traces, service_of, &index);
+        });
+        util::setThreadCount(pool_threads);
+        ps.pooledThreads = util::threadCount();
+        ps.pooledMs = bestMs(repeats, [&] {
+            core::PlacementEngine(tree, shape_cfg)
+                .place(traces, service_of, &index);
+        });
+        rows.push_back(ps);
     }
     util::setThreadCount(0);
 
